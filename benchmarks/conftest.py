@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+section at a reduced Monte-Carlo scale so the whole suite runs on a laptop.
+Set ``GLOVA_PAPER_SCALE=1`` to use the paper's full verification budgets
+(0.1K local MC x 30 corners, 1K global-local MC x 6 corners) — expect a much
+longer runtime.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def paper_scale() -> bool:
+    return os.environ.get("GLOVA_PAPER_SCALE", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def scale() -> dict:
+    """Benchmark budgets: reduced by default, paper-scale on request."""
+    if paper_scale():
+        return {
+            "paper_scale": True,
+            "seeds": (0, 1, 2),
+            "max_iterations": 400,
+            "initial_samples": 60,
+            "verification_samples": None,  # Table-I defaults
+        }
+    return {
+        "paper_scale": False,
+        "seeds": (0,),
+        "max_iterations": 120,
+        "initial_samples": 40,
+        "verification_samples": 20,
+    }

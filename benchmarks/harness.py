@@ -1,0 +1,68 @@
+"""Common helpers for the Table-II / Table-III benchmarks."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Dict, List, Sequence
+
+from repro.analysis import (
+    ExperimentRunner,
+    ExperimentSettings,
+    MethodSummary,
+    format_comparison_table,
+)
+from repro.core.config import VerificationMethod
+
+#: Regenerated table text is also written here so the rows survive pytest's
+#: stdout capture and can be inspected after a benchmark run.
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SCENARIOS = {
+    "C": VerificationMethod.CORNER,
+    "C-MCL": VerificationMethod.CORNER_LOCAL_MC,
+    "C-MCG-L": VerificationMethod.CORNER_GLOBAL_LOCAL_MC,
+}
+
+
+def build_runner(
+    circuit_name: str,
+    verification: VerificationMethod,
+    scale: dict,
+) -> ExperimentRunner:
+    """An :class:`ExperimentRunner` configured for the chosen scale."""
+    settings = ExperimentSettings(
+        circuit_name=circuit_name,
+        verification=verification,
+        seeds=scale["seeds"],
+        max_iterations=scale["max_iterations"],
+        initial_samples=scale["initial_samples"],
+        verification_samples=scale["verification_samples"],
+        paper_scale=scale["paper_scale"],
+    )
+    return ExperimentRunner(settings)
+
+
+def run_table2_block(
+    circuit_name: str,
+    scale: dict,
+    scenarios: Sequence[str] = ("C", "C-MCL", "C-MCG-L"),
+    methods: Sequence[str] = ("glova", "pvtsizing", "robustanalog"),
+) -> Dict[str, List[MethodSummary]]:
+    """Run one circuit's Table-II columns and return per-scenario summaries."""
+    block: Dict[str, List[MethodSummary]] = {}
+    for scenario in scenarios:
+        runner = build_runner(circuit_name, SCENARIOS[scenario], scale)
+        block[scenario] = runner.compare_methods(methods)
+    return block
+
+
+def print_table(block: Dict[str, List[MethodSummary]], title: str) -> str:
+    """Print a Table-II/III block and persist it under benchmarks/results/."""
+    text = format_comparison_table(block, title=title)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+    return text

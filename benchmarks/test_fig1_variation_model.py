@@ -1,0 +1,58 @@
+"""Benchmark E7 — Fig. 1 / Eq. 3: the hierarchical variation model.
+
+Checks statistically that sampled mismatch reproduces the structure the
+paper's Fig. 1 illustrates: die-to-die medians spread by the *global*
+variation while samples within one die spread around that median by the
+*local* variation, whose magnitude follows the Pelgrom area law.
+"""
+
+import numpy as np
+
+from repro.circuits import StrongArmLatch
+from repro.variation.mismatch import MismatchSampler
+
+
+def sample_die_statistics(n_dies=60, samples_per_die=40, seed=0):
+    circuit = StrongArmLatch()
+    model = circuit.mismatch_model
+    x_physical = circuit.denormalize(np.full(circuit.dimension, 0.5))
+    sampler = MismatchSampler(
+        model, include_global=True, include_local=True,
+        rng=np.random.default_rng(seed),
+    )
+    die_medians = []
+    within_die_stds = []
+    for _ in range(n_dies):
+        die = sampler.sample(x_physical, samples_per_die)
+        die_medians.append(np.median(die.samples, axis=0))
+        within_die_stds.append(die.samples.std(axis=0))
+    return {
+        "die_to_die_std": np.std(np.stack(die_medians), axis=0),
+        "within_die_std": np.mean(np.stack(within_die_stds), axis=0),
+        "expected_global": model.global_sigmas(x_physical),
+        "expected_local": model.local_sigmas(x_physical),
+        "names": model.parameter_names(),
+    }
+
+
+def test_fig1_global_and_local_variation(benchmark):
+    stats = benchmark.pedantic(sample_die_statistics, rounds=1, iterations=1)
+
+    print("\nFig. 1 — global (die-to-die) vs local (within-die) variation")
+    print(f"{'parameter':<22} {'sigma_die2die':>14} {'sigma_global':>13} "
+          f"{'sigma_withindie':>16} {'sigma_local':>12}")
+    for index in range(0, len(stats["names"]), 4):
+        name = stats["names"][index]
+        print(
+            f"{name:<22} {stats['die_to_die_std'][index]:>14.4g} "
+            f"{stats['expected_global'][index]:>13.4g} "
+            f"{stats['within_die_std'][index]:>16.4g} "
+            f"{stats['expected_local'][index]:>12.4g}"
+        )
+
+    # Die-to-die spread tracks Sigma_Global; within-die spread tracks
+    # Sigma_Local (within 35 % at this sample size).
+    ratio_global = stats["die_to_die_std"] / stats["expected_global"]
+    ratio_local = stats["within_die_std"] / stats["expected_local"]
+    assert np.all(ratio_global > 0.6) and np.all(ratio_global < 1.5)
+    assert np.all(ratio_local > 0.65) and np.all(ratio_local < 1.35)

@@ -1,0 +1,52 @@
+"""Benchmark E6 — Table I: operational configuration of the framework.
+
+Regenerates the Table-I contract (which corners, which mismatch variances
+and which sample counts each verification method uses) and times how long a
+full verification pass budget takes to *account for* — a pure bookkeeping
+benchmark that anchors the simulation-count columns of the other tables.
+"""
+
+from repro.core.config import VerificationMethod, operational_config
+
+
+def table1_rows():
+    rows = []
+    for method in VerificationMethod:
+        config = operational_config(method)
+        rows.append(
+            {
+                "method": method.value,
+                "corners": len(config.corners),
+                "global": config.include_global,
+                "local": config.include_local,
+                "optimization_samples": config.optimization_samples,
+                "verification_samples": config.verification_samples,
+                "full_verification_simulations": config.total_verification_simulations,
+            }
+        )
+    return rows
+
+
+def test_table1_operational_configuration(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+
+    print("\nTable I — Operational configuration of the framework")
+    header = (
+        f"{'Verif.':>8} {'#corners':>9} {'global':>7} {'local':>6} "
+        f"{'N_opt':>6} {'N_verif':>8} {'full pass sims':>15}"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"{row['method']:>8} {row['corners']:>9} {str(row['global']):>7} "
+            f"{str(row['local']):>6} {row['optimization_samples']:>6} "
+            f"{row['verification_samples']:>8} "
+            f"{row['full_verification_simulations']:>15}"
+        )
+
+    by_method = {row["method"]: row for row in rows}
+    # Paper budgets: 30, 3,000 and 6,000 simulations per full verification.
+    assert by_method["C"]["full_verification_simulations"] == 30
+    assert by_method["C-MCL"]["full_verification_simulations"] == 3000
+    assert by_method["C-MCG-L"]["full_verification_simulations"] == 6000
+    assert by_method["C-MCG-L"]["corners"] == 6

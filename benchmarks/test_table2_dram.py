@@ -1,0 +1,32 @@
+"""Benchmark E3 — Table II, OCSA + SH DRAM-core columns.
+
+The hardest testcase: conflicting low/high sensing-voltage targets plus an
+energy budget, with sense-amp offsets highly sensitive to local mismatch.
+Only the C and C-MCL scenarios run at reduced scale by default; C-MCG-L is
+included when GLOVA_PAPER_SCALE=1 (it needs the paper's 1K-sample budget to
+be meaningfully harder than C-MCL).
+"""
+
+import pytest
+
+from benchmarks.harness import print_table, run_table2_block
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_dram_core(benchmark, scale):
+    scenarios = ("C", "C-MCL", "C-MCG-L") if scale["paper_scale"] else ("C", "C-MCL")
+    block = benchmark.pedantic(
+        run_table2_block,
+        args=("dram", scale),
+        kwargs={"scenarios": scenarios},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(block, title="Table II — OCSA + SH in DRAM core (reduced scale)")
+
+    for scenario, summaries in block.items():
+        by_method = {s.method: s for s in summaries}
+        glova = by_method["glova"]
+        assert glova.successes > 0, f"GLOVA failed on DRAM/{scenario}"
+        assert glova.success_rate >= by_method["robustanalog"].success_rate
+        assert glova.normalized_runtime == pytest.approx(1.0)

@@ -1,0 +1,59 @@
+"""Regenerate one Table-II block from the public API.
+
+Runs GLOVA, the PVTSizing-style baseline and the RobustAnalog-style baseline
+on the StrongARM latch under the corner (``C``) and corner + local-MC
+(``C-MCL``) verification scenarios, then prints the same four rows the paper
+reports: RL iterations, number of simulations, normalized runtime, and
+success rate.  This is the scripting equivalent of
+``pytest benchmarks/test_table2_sal.py --benchmark-only``.
+
+Run with::
+
+    python examples/table2_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    ExperimentRunner,
+    ExperimentSettings,
+    format_comparison_table,
+)
+from repro.core.config import VerificationMethod
+
+
+def main() -> None:
+    scenarios = {
+        "C": VerificationMethod.CORNER,
+        "C-MCL": VerificationMethod.CORNER_LOCAL_MC,
+    }
+    block = {}
+    for label, verification in scenarios.items():
+        settings = ExperimentSettings(
+            circuit_name="sal",
+            verification=verification,
+            seeds=(0,),
+            max_iterations=120,
+            initial_samples=40,
+            verification_samples=20,
+        )
+        runner = ExperimentRunner(settings)
+        print(f"running methods for scenario {label} ...")
+        block[label] = runner.compare_methods(
+            methods=("glova", "pvtsizing", "robustanalog")
+        )
+
+    print()
+    print(
+        format_comparison_table(
+            block, title="Table II — StrongARM latch (reduced scale)"
+        )
+    )
+    print(
+        "\nNote: reduced Monte-Carlo budgets (20 samples/corner) and a single"
+        "\nseed; see EXPERIMENTS.md for the paper-scale interpretation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim so editable installs work in offline environments.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists because some offline environments lack the ``wheel`` package that
+PEP-517 editable installs require.
+"""
+
+from setuptools import setup
+
+setup()

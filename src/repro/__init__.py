@@ -1,0 +1,53 @@
+"""GLOVA reproduction: variation-aware analog circuit sizing with risk-sensitive RL.
+
+This package reproduces the system described in
+
+    "GLOVA: Global and Local Variation-Aware Analog Circuit Design with
+     Risk-Sensitive Reinforcement Learning" (DAC 2025, arXiv:2505.11208)
+
+The public API is re-exported here so downstream users can write::
+
+    from repro import GlovaOptimizer, GlovaConfig, VerificationMethod
+    from repro.circuits import StrongArmLatch
+
+    circuit = StrongArmLatch()
+    config = GlovaConfig(verification=VerificationMethod.CORNER_LOCAL_MC)
+    result = GlovaOptimizer(circuit, config).run()
+
+Subpackages
+-----------
+``repro.variation``
+    PVT corner enumeration and the hierarchical global/local mismatch model.
+``repro.spice``
+    A lightweight modified-nodal-analysis circuit simulation substrate.
+``repro.circuits``
+    The three paper testcases (StrongARM latch, floating inverter amplifier,
+    OCSA + subhole DRAM core) as behavioural performance models.
+``repro.simulation``
+    The simulation service that evaluates designs under corners and mismatch
+    while tracking simulation budgets.
+``repro.core``
+    The GLOVA contribution: risk-sensitive RL agent, ensemble critic, TuRBO
+    seeding, mu-sigma evaluation, simulation reordering and the optimizer.
+``repro.baselines``
+    PVTSizing- and RobustAnalog-style baselines used in Table II.
+``repro.analysis``
+    Experiment orchestration and table formatting for the paper's evaluation.
+"""
+
+from repro.version import __version__
+from repro.core.config import GlovaConfig, VerificationMethod, OperationalConfig
+from repro.core.optimizer import GlovaOptimizer
+from repro.core.result import OptimizationResult
+from repro.core.spec import DesignSpec, Constraint
+
+__all__ = [
+    "__version__",
+    "GlovaConfig",
+    "VerificationMethod",
+    "OperationalConfig",
+    "GlovaOptimizer",
+    "OptimizationResult",
+    "DesignSpec",
+    "Constraint",
+]

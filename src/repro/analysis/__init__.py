@@ -1,0 +1,22 @@
+"""Experiment orchestration and reporting for the paper's evaluation.
+
+:mod:`repro.analysis.metrics` aggregates repeated optimization runs into the
+quantities Table II and Table III report (RL iterations, simulation counts,
+normalized runtime, success rate); :mod:`repro.analysis.tables` renders them
+as text tables; :mod:`repro.analysis.experiments` runs the method x
+verification-scenario sweeps the benchmarks are built on.
+"""
+
+from repro.analysis.metrics import MethodSummary, aggregate_results, normalize_runtimes
+from repro.analysis.tables import format_comparison_table, format_ablation_table
+from repro.analysis.experiments import ExperimentRunner, ExperimentSettings
+
+__all__ = [
+    "MethodSummary",
+    "aggregate_results",
+    "normalize_runtimes",
+    "format_comparison_table",
+    "format_ablation_table",
+    "ExperimentRunner",
+    "ExperimentSettings",
+]

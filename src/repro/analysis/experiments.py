@@ -1,0 +1,120 @@
+"""Experiment orchestration: the method x scenario sweeps behind the tables.
+
+:class:`ExperimentRunner` runs GLOVA and the baselines repeatedly with
+different seeds on one circuit and aggregates the outcomes the way the
+paper's tables do.  Benchmarks construct it with reduced Monte-Carlo budgets
+so the suite stays laptop-friendly; ``paper_scale=True`` restores the full
+Table-I budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import MethodSummary, aggregate_results, normalize_runtimes
+from repro.baselines.pvtsizing import PVTSizingOptimizer
+from repro.baselines.robustanalog import RobustAnalogOptimizer
+from repro.circuits.base import AnalogCircuit
+from repro.circuits.registry import get_circuit
+from repro.core.config import GlovaConfig, VerificationMethod
+from repro.core.optimizer import GlovaOptimizer
+from repro.core.result import OptimizationResult
+
+
+@dataclass
+class ExperimentSettings:
+    """Knobs shared by every run in one experiment sweep."""
+
+    circuit_name: str
+    verification: VerificationMethod
+    seeds: Sequence[int] = (0, 1, 2)
+    max_iterations: int = 60
+    initial_samples: int = 40
+    verification_samples: Optional[int] = None
+    optimization_samples: int = 3
+    paper_scale: bool = False
+
+    def build_config(self, seed: int, **overrides) -> GlovaConfig:
+        verification_samples = self.verification_samples
+        if self.paper_scale:
+            verification_samples = None  # use the Table-I default budgets
+        config = GlovaConfig(
+            verification=self.verification,
+            seed=seed,
+            max_iterations=self.max_iterations,
+            initial_samples=self.initial_samples,
+            optimization_samples=self.optimization_samples,
+            verification_samples=verification_samples,
+        )
+        return config.with_overrides(**overrides)
+
+
+class ExperimentRunner:
+    """Runs methods over seeds and aggregates Table-style summaries."""
+
+    def __init__(self, settings: ExperimentSettings):
+        self.settings = settings
+
+    # ------------------------------------------------------------------
+    def _circuit(self) -> AnalogCircuit:
+        return get_circuit(self.settings.circuit_name)
+
+    def run_glova(self, seed: int, **config_overrides) -> OptimizationResult:
+        config = self.settings.build_config(seed, **config_overrides)
+        optimizer = GlovaOptimizer(self._circuit(), config)
+        return optimizer.run()
+
+    def run_pvtsizing(self, seed: int) -> OptimizationResult:
+        config = self.settings.build_config(seed)
+        optimizer = PVTSizingOptimizer(self._circuit(), config)
+        return optimizer.run()
+
+    def run_robustanalog(self, seed: int) -> OptimizationResult:
+        config = self.settings.build_config(seed)
+        optimizer = RobustAnalogOptimizer(self._circuit(), config)
+        return optimizer.run()
+
+    # ------------------------------------------------------------------
+    def run_method(
+        self, method: str, **config_overrides
+    ) -> List[OptimizationResult]:
+        """Run one method for every seed."""
+        runners: Dict[str, Callable[[int], OptimizationResult]] = {
+            "glova": lambda seed: self.run_glova(seed, **config_overrides),
+            "pvtsizing": self.run_pvtsizing,
+            "robustanalog": self.run_robustanalog,
+        }
+        if method not in runners:
+            raise KeyError(f"unknown method {method!r}")
+        return [runners[method](seed) for seed in self.settings.seeds]
+
+    def compare_methods(
+        self, methods: Sequence[str] = ("glova", "pvtsizing", "robustanalog")
+    ) -> List[MethodSummary]:
+        """Run several methods and return normalized summaries."""
+        scenario = self.settings.verification.value
+        summaries = [
+            aggregate_results(method, scenario, self.run_method(method))
+            for method in methods
+        ]
+        return normalize_runtimes(summaries, reference_method="glova")
+
+    def ablation(self) -> List[MethodSummary]:
+        """The Table-III variants: full GLOVA and the three ablations."""
+        scenario = self.settings.verification.value
+        variants = {
+            "glova": {},
+            "glova_no_ensemble": {"use_ensemble_critic": False},
+            "glova_no_mu_sigma": {"use_mu_sigma": False},
+            "glova_no_reordering": {"use_reordering": False},
+        }
+        summaries = []
+        for name, overrides in variants.items():
+            results = [
+                self.run_glova(seed, **overrides) for seed in self.settings.seeds
+            ]
+            summaries.append(aggregate_results(name, scenario, results))
+        return normalize_runtimes(summaries, reference_method="glova")

@@ -1,0 +1,65 @@
+"""Text rendering of Table-II- and Table-III-style comparisons."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.analysis.metrics import MethodSummary
+
+_ROW_LABELS = (
+    ("rl_iterations", "RL Iteration", "{:.1f}"),
+    ("simulations", "# Simulation", "{:.0f}"),
+    ("normalized_runtime", "Norm. Runtime", "{:.2f}"),
+    ("success_rate", "Success Rate", "{:.0%}"),
+)
+
+
+def format_comparison_table(
+    summaries_by_scenario: Mapping[str, Sequence[MethodSummary]],
+    title: str = "Optimization results",
+) -> str:
+    """Render a Table-II-style block: scenarios as columns, methods as rows.
+
+    ``summaries_by_scenario`` maps a scenario label (``"C"``, ``"C-MCL"``,
+    ``"C-MCG-L"``) to the per-method summaries for that scenario.
+    """
+    scenarios = list(summaries_by_scenario.keys())
+    methods: List[str] = []
+    for summaries in summaries_by_scenario.values():
+        for summary in summaries:
+            if summary.method not in methods:
+                methods.append(summary.method)
+
+    width = max(14, max(len(s) for s in scenarios) + 2)
+    method_width = max(14, max(len(m) for m in methods) + 2)
+    lines = [title, "=" * len(title)]
+    header = " " * (method_width + 16) + "".join(f"{s:>{width}}" for s in scenarios)
+    lines.append(header)
+
+    for key, label, fmt in _ROW_LABELS:
+        lines.append(label)
+        for method in methods:
+            cells = []
+            for scenario in scenarios:
+                summary = next(
+                    (
+                        s
+                        for s in summaries_by_scenario[scenario]
+                        if s.method == method
+                    ),
+                    None,
+                )
+                if summary is None:
+                    cells.append(f"{'-':>{width}}")
+                else:
+                    cells.append(f"{fmt.format(summary.as_row()[key]):>{width}}")
+            lines.append(f"  {method:<{method_width}}{'':<14}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_ablation_table(
+    summaries_by_scenario: Mapping[str, Sequence[MethodSummary]],
+    title: str = "Ablation study",
+) -> str:
+    """Render the Table-III-style ablation block (same layout, variant rows)."""
+    return format_comparison_table(summaries_by_scenario, title=title)

@@ -1,0 +1,145 @@
+"""Shared scaffolding for baseline optimizers.
+
+All baselines share the same evaluation substrate (circuit, corners,
+mismatch sampling, budget accounting) and the same *brute-force*
+verification: when a candidate looks feasible, every corner is simulated
+with the full per-corner Monte-Carlo budget, in order, with no mu-sigma
+screen and no reordering (verification stops at the first failing sample —
+being generous to the baselines — but without GLOVA's prioritisation the
+failing sample tends to come late).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.base import AnalogCircuit
+from repro.core.config import GlovaConfig, OperationalConfig
+from repro.core.replay import LastWorstCaseBuffer
+from repro.core.result import OptimizationResult
+from repro.core.reward import FEASIBLE_REWARD, reward_from_metrics, rewards_and_worst
+from repro.core.spec import DesignSpec
+from repro.core.verification import Verifier
+from repro.simulation.budget import SimulationBudget, SimulationPhase
+from repro.simulation.simulator import CircuitSimulator
+from repro.variation.corners import PVTCorner
+from repro.variation.mismatch import MismatchSampler, MismatchSet
+
+
+class BaselineOptimizer(abc.ABC):
+    """Common machinery: simulator, mismatch sampling, brute-force verify."""
+
+    #: Label used in result objects and tables.
+    method_name: str = "baseline"
+
+    def __init__(
+        self,
+        circuit: AnalogCircuit,
+        config: Optional[GlovaConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.circuit = circuit
+        self.config = config if config is not None else GlovaConfig()
+        self.rng = (
+            rng if rng is not None else np.random.default_rng(self.config.seed)
+        )
+        self.operational: OperationalConfig = self.config.operational()
+        self.spec = DesignSpec.from_circuit(circuit)
+        self.budget = SimulationBudget(
+            cost_per_simulation=self.config.cost_per_simulation,
+            optimization_parallelism=self.config.optimization_parallelism,
+            verification_parallelism=self.config.verification_parallelism,
+        )
+        self.simulator = CircuitSimulator(circuit, self.budget)
+        self.last_worst = LastWorstCaseBuffer(self.operational.corners)
+        self.mismatch_sampler = MismatchSampler(
+            circuit.mismatch_model,
+            include_global=self.operational.include_global,
+            include_local=self.operational.include_local,
+            rng=self.rng,
+        )
+        # Baselines verify without GLOVA's verification-phase contributions.
+        self.verifier = Verifier(
+            self.simulator,
+            self.spec,
+            self.operational,
+            beta2=self.config.reliability_beta2,
+            use_mu_sigma=False,
+            use_reordering=False,
+            rng=self.rng,
+        )
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def run(self) -> OptimizationResult:
+        """Execute the baseline's optimization loop."""
+
+    # ------------------------------------------------------------------
+    def evaluate_at_corner(
+        self,
+        design: np.ndarray,
+        corner: PVTCorner,
+        phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
+    ) -> Tuple[float, List[Dict[str, float]]]:
+        """Simulate a design at one corner with N' mismatch samples."""
+        x_physical = self.circuit.denormalize(design)
+        mismatch_set = self.mismatch_sampler.sample(
+            x_physical, self.operational.optimization_samples
+        )
+        records = self.simulator.simulate_mismatch_set(
+            design, corner, mismatch_set, phase=phase
+        )
+        metric_dicts = [record.metrics for record in records]
+        _, worst = rewards_and_worst(self.spec, metric_dicts)
+        self.last_worst.update(corner, worst)
+        return worst, metric_dicts
+
+    def evaluate_all_corners(
+        self,
+        design: np.ndarray,
+        phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
+    ) -> Dict[str, float]:
+        """Simulate a design at every predefined corner; return worst rewards."""
+        worst_by_corner: Dict[str, float] = {}
+        for corner in self.operational.corners:
+            worst, _ = self.evaluate_at_corner(design, corner, phase)
+            worst_by_corner[corner.name] = worst
+        return worst_by_corner
+
+    def brute_force_verify(self, design: np.ndarray) -> bool:
+        """Full verification without mu-sigma screening or reordering."""
+        outcome = self.verifier.verify(design, self.last_worst)
+        return outcome.passed
+
+    def typical_reward(self, design: np.ndarray) -> float:
+        record = self.simulator.simulate_typical(design)
+        return reward_from_metrics(self.spec, record.metrics)
+
+    # ------------------------------------------------------------------
+    def build_result(
+        self,
+        success: bool,
+        iterations: int,
+        final_design: Optional[np.ndarray],
+        verification_attempts: int,
+    ) -> OptimizationResult:
+        final_metrics = None
+        final_physical = None
+        if final_design is not None and success:
+            final_physical = self.circuit.denormalize(final_design)
+            final_metrics = self.circuit.evaluate(final_design)
+        return OptimizationResult(
+            success=success,
+            iterations=iterations,
+            simulations=self.budget.snapshot(),
+            runtime=self.budget.modelled_runtime(),
+            final_design=final_design if success else None,
+            final_design_physical=final_physical,
+            final_metrics=final_metrics,
+            verification_attempts=verification_attempts,
+            method=f"{self.method_name}/{self.operational.method.value}",
+            circuit=self.circuit.name,
+        )

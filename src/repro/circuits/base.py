@@ -1,0 +1,253 @@
+"""Base classes shared by all testbench circuits.
+
+A circuit exposes:
+
+* an ordered list of :class:`SizingParameter` (the design space ``X^p``),
+* a list of performance metrics with constraint bounds ``c_i`` (all
+  expressed as "metric <= bound"; metrics the designer wants to maximise are
+  sign-flipped, exactly as the paper does for the DRAM sensing voltages),
+* a :class:`~repro.variation.MismatchModel` describing its mismatch-carrying
+  devices, and
+* :meth:`AnalogCircuit.evaluate`, the nonlinear map ``F(x | t, h)`` from a
+  normalised sizing vector, a PVT corner and a mismatch condition to the
+  metric values.
+
+Design vectors are exchanged with the optimizer in *normalised* form (each
+coordinate in ``[0, 1]``); wide-range parameters (widths, capacitances) are
+normalised on a logarithmic scale so that the search treats decades evenly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.variation.corners import PVTCorner, typical_corner
+from repro.variation.distributions import DeviceSpec, MismatchModel
+
+
+@dataclass(frozen=True)
+class SizingParameter:
+    """One dimension of the sizing vector.
+
+    Attributes
+    ----------
+    name:
+        Human-readable parameter name (e.g. ``"W_input_pair"``).
+    lower / upper:
+        Physical bounds (SI units).
+    unit:
+        Unit string for reporting.
+    log_scale:
+        Normalise this parameter on a log scale (recommended whenever the
+        range spans more than one decade).
+    """
+
+    name: str
+    lower: float
+    upper: float
+    unit: str = ""
+    log_scale: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lower <= 0 and self.log_scale:
+            raise ValueError(f"log-scale parameter {self.name} needs positive bounds")
+        if self.upper <= self.lower:
+            raise ValueError(f"parameter {self.name}: upper must exceed lower")
+
+    def to_normalized(self, physical: float) -> float:
+        physical = float(np.clip(physical, self.lower, self.upper))
+        if self.log_scale:
+            span = np.log(self.upper) - np.log(self.lower)
+            return float((np.log(physical) - np.log(self.lower)) / span)
+        return float((physical - self.lower) / (self.upper - self.lower))
+
+    def to_physical(self, normalized: float) -> float:
+        normalized = float(np.clip(normalized, 0.0, 1.0))
+        if self.log_scale:
+            log_value = np.log(self.lower) + normalized * (
+                np.log(self.upper) - np.log(self.lower)
+            )
+            return float(np.exp(log_value))
+        return float(self.lower + normalized * (self.upper - self.lower))
+
+
+class AnalogCircuit(abc.ABC):
+    """Abstract testbench circuit.
+
+    Subclasses implement :meth:`_evaluate_physical`, receiving the physical
+    sizing vector, a corner and the per-device mismatch view, and returning
+    the raw metric values.  Everything else — normalisation, constraint
+    bookkeeping, mismatch-model plumbing — lives here.
+    """
+
+    #: Circuit name used by the registry and in reports.
+    name: str = "circuit"
+
+    def __init__(self) -> None:
+        self._parameters = tuple(self._build_parameters())
+        self._constraints = dict(self._build_constraints())
+        self._mismatch_model = MismatchModel(self._build_devices())
+        if not self._parameters:
+            raise ValueError("circuit declares no sizing parameters")
+        if not self._constraints:
+            raise ValueError("circuit declares no constraints")
+
+    # ------------------------------------------------------------------
+    # Subclass contract
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _build_parameters(self) -> Sequence[SizingParameter]:
+        """Declare the sizing parameters (order defines the vector layout)."""
+
+    @abc.abstractmethod
+    def _build_constraints(self) -> Dict[str, float]:
+        """Declare ``{metric_name: upper_bound}`` for every metric."""
+
+    @abc.abstractmethod
+    def _build_devices(self) -> Sequence[DeviceSpec]:
+        """Declare the mismatch-carrying devices."""
+
+    @abc.abstractmethod
+    def _evaluate_physical(
+        self,
+        x_physical: np.ndarray,
+        corner: PVTCorner,
+        mismatch: Dict[str, Dict[str, float]],
+    ) -> Dict[str, float]:
+        """Compute raw metric values for a physical sizing vector."""
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> Tuple[SizingParameter, ...]:
+        return self._parameters
+
+    @property
+    def parameter_names(self) -> List[str]:
+        return [p.name for p in self._parameters]
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality ``p`` of the sizing vector."""
+        return len(self._parameters)
+
+    @property
+    def metric_names(self) -> List[str]:
+        return list(self._constraints.keys())
+
+    @property
+    def constraints(self) -> Dict[str, float]:
+        """Constraint bounds ``c_i`` (all metrics must stay <= their bound)."""
+        return dict(self._constraints)
+
+    @property
+    def mismatch_model(self) -> MismatchModel:
+        return self._mismatch_model
+
+    @property
+    def mismatch_dimension(self) -> int:
+        return self._mismatch_model.dimension
+
+    # ------------------------------------------------------------------
+    # Vector conversions
+    # ------------------------------------------------------------------
+    def denormalize(self, x_normalized: np.ndarray) -> np.ndarray:
+        """Map a normalised vector in [0, 1]^p to physical units."""
+        x_normalized = np.asarray(x_normalized, dtype=float)
+        if x_normalized.shape != (self.dimension,):
+            raise ValueError(
+                f"expected sizing vector of shape ({self.dimension},), "
+                f"got {x_normalized.shape}"
+            )
+        return np.array(
+            [p.to_physical(v) for p, v in zip(self._parameters, x_normalized)]
+        )
+
+    def normalize(self, x_physical: np.ndarray) -> np.ndarray:
+        """Map a physical sizing vector to [0, 1]^p."""
+        x_physical = np.asarray(x_physical, dtype=float)
+        if x_physical.shape != (self.dimension,):
+            raise ValueError(
+                f"expected sizing vector of shape ({self.dimension},), "
+                f"got {x_physical.shape}"
+            )
+        return np.array(
+            [p.to_normalized(v) for p, v in zip(self._parameters, x_physical)]
+        )
+
+    def random_sizing(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """A uniformly random normalised sizing vector."""
+        rng = rng if rng is not None else np.random.default_rng()
+        return rng.uniform(0.0, 1.0, size=self.dimension)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        x_normalized: np.ndarray,
+        corner: Optional[PVTCorner] = None,
+        mismatch: Optional[np.ndarray] = None,
+    ) -> Dict[str, float]:
+        """Evaluate ``F(x | t, h)`` and return ``{metric: value}``.
+
+        Parameters
+        ----------
+        x_normalized:
+            Normalised sizing vector in ``[0, 1]^p``.
+        corner:
+            PVT corner; defaults to the typical condition.
+        mismatch:
+            Mismatch vector ``h`` from the circuit's mismatch model; ``None``
+            means nominal devices.
+        """
+        corner = corner if corner is not None else typical_corner()
+        x_physical = self.denormalize(x_normalized)
+        if mismatch is None:
+            mismatch_view = self._mismatch_model.as_device_view(
+                self._mismatch_model.zero()
+            )
+        else:
+            mismatch_view = self._mismatch_model.as_device_view(mismatch)
+        metrics = self._evaluate_physical(x_physical, corner, mismatch_view)
+        missing = set(self._constraints) - set(metrics)
+        if missing:
+            raise RuntimeError(
+                f"circuit {self.name!r} did not report metrics: {sorted(missing)}"
+            )
+        return {name: float(metrics[name]) for name in self._constraints}
+
+    def is_feasible(self, metrics: Dict[str, float]) -> bool:
+        """True when every metric meets its constraint bound."""
+        return all(
+            metrics[name] <= bound for name, bound in self._constraints.items()
+        )
+
+    def constraint_margins(self, metrics: Dict[str, float]) -> Dict[str, float]:
+        """Per-metric slack ``c_i - F_i`` (positive means satisfied)."""
+        return {
+            name: bound - metrics[name] for name, bound in self._constraints.items()
+        }
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """A human-readable summary of the design space and targets."""
+        lines = [f"Circuit: {self.name} ({self.dimension} sizing parameters)"]
+        for parameter in self._parameters:
+            lines.append(
+                f"  {parameter.name}: [{parameter.lower:g}, {parameter.upper:g}] "
+                f"{parameter.unit}"
+            )
+        lines.append("Targets:")
+        for metric, bound in self._constraints.items():
+            lines.append(f"  {metric} <= {bound:g}")
+        lines.append(f"Mismatch parameters: {self.mismatch_dimension}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} dim={self.dimension}>"

@@ -1,0 +1,39 @@
+"""Registry mapping circuit names to testbench classes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.circuits.base import AnalogCircuit
+from repro.circuits.dram_core import DramCoreSenseAmp
+from repro.circuits.fia import FloatingInverterAmplifier
+from repro.circuits.strongarm import StrongArmLatch
+
+_REGISTRY: Dict[str, Type[AnalogCircuit]] = {
+    StrongArmLatch.name: StrongArmLatch,
+    FloatingInverterAmplifier.name: FloatingInverterAmplifier,
+    DramCoreSenseAmp.name: DramCoreSenseAmp,
+    # Short aliases used throughout the paper and the benchmarks.
+    "sal": StrongArmLatch,
+    "fia": FloatingInverterAmplifier,
+    "dram": DramCoreSenseAmp,
+}
+
+
+def available_circuits() -> List[str]:
+    """Canonical circuit names (aliases excluded)."""
+    return [
+        StrongArmLatch.name,
+        FloatingInverterAmplifier.name,
+        DramCoreSenseAmp.name,
+    ]
+
+
+def get_circuit(name: str) -> AnalogCircuit:
+    """Instantiate a testbench circuit by name or alias."""
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown circuit {name!r}; available: {available_circuits()}"
+        )
+    return _REGISTRY[key]()

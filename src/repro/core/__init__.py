@@ -1,0 +1,40 @@
+"""GLOVA core: the paper's primary contribution.
+
+Modules
+-------
+``config``
+    Framework configuration, verification methods, and the Table-I
+    operational configuration.
+``spec`` / ``reward``
+    Constraint normalisation (Eq. 5) and the consolidated reward (Eq. 4).
+``nn``
+    Minimal feed-forward neural networks with Adam, used by the agent.
+``replay``
+    Worst-case replay buffer and last-worst-case corner buffer.
+``actor_critic``
+    The actor network and the ensemble-based critic (Eq. 6).
+``agent``
+    Risk-sensitive DDPG-style training (Algorithm 1).
+``gp`` / ``turbo``
+    Gaussian-process surrogate and TuRBO trust-region initial sampling.
+``mu_sigma``
+    The mu-sigma feasibility screen (Eq. 7).
+``reordering``
+    Corner reordering by t-SCORE and MC reordering by h-SCORE (Eq. 8-10).
+``verification``
+    The hierarchical verification algorithm (Algorithm 2).
+``optimizer``
+    The full Fig.-2 workflow tying everything together.
+"""
+
+from repro.core.config import GlovaConfig, OperationalConfig, VerificationMethod
+from repro.core.optimizer import GlovaOptimizer
+from repro.core.result import OptimizationResult
+
+__all__ = [
+    "GlovaConfig",
+    "OperationalConfig",
+    "VerificationMethod",
+    "GlovaOptimizer",
+    "OptimizationResult",
+]

@@ -1,0 +1,294 @@
+"""The GLOVA optimization + verification workflow (Fig. 2 of the paper).
+
+One :class:`GlovaOptimizer` run executes:
+
+1. **Initial sampling** — TuRBO searches for designs meeting the constraints
+   at the typical condition (adopted from PVTSizing).
+2. **Seeding** — the best initial designs are simulated across all
+   predefined corners (with ``N'`` mismatch samples when the scenario uses
+   MC) and their worst-case rewards fill the replay buffer and the
+   last-worst-case corner buffer; the actor is behaviour-cloned onto the
+   best seed so the first proposals start near it.
+3. **Optimization loop** (Algorithm 1) — each RL iteration proposes a
+   design, simulates it under ``N'`` sampled mismatch conditions at the
+   current worst corner, stores the worst reward and updates the agent.
+4. **Verification** (Algorithm 2) — whenever the worst-corner mu-sigma
+   screen passes, the full hierarchical verification runs; success
+   terminates the framework.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.circuits.base import AnalogCircuit
+from repro.core.agent import RiskSensitiveAgent
+from repro.core.config import GlovaConfig
+from repro.core.mu_sigma import MuSigmaEvaluator
+from repro.core.replay import LastWorstCaseBuffer
+from repro.core.result import IterationRecord, OptimizationResult
+from repro.core.reward import (
+    FEASIBLE_REWARD,
+    reward_from_metrics,
+    rewards_and_worst,
+)
+from repro.core.spec import DesignSpec
+from repro.core.turbo import TurboSampler
+from repro.core.verification import Verifier
+from repro.simulation.budget import SimulationBudget, SimulationPhase
+from repro.simulation.simulator import CircuitSimulator
+from repro.variation.mismatch import MismatchSampler
+
+
+class GlovaOptimizer:
+    """Variation-aware sizing with risk-sensitive RL (the paper's framework)."""
+
+    def __init__(
+        self,
+        circuit: AnalogCircuit,
+        config: Optional[GlovaConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.circuit = circuit
+        self.config = config if config is not None else GlovaConfig()
+        self.rng = (
+            rng if rng is not None else np.random.default_rng(self.config.seed)
+        )
+        self.operational = self.config.operational()
+        self.spec = DesignSpec.from_circuit(circuit)
+        self.budget = SimulationBudget(
+            cost_per_simulation=self.config.cost_per_simulation,
+            optimization_parallelism=self.config.optimization_parallelism,
+            verification_parallelism=self.config.verification_parallelism,
+        )
+        self.simulator = CircuitSimulator(circuit, self.budget)
+        self.agent = RiskSensitiveAgent(circuit.dimension, self.config, self.rng)
+        self.last_worst = LastWorstCaseBuffer(self.operational.corners)
+        self.screen_evaluator = MuSigmaEvaluator(
+            self.spec, beta2=self.config.reliability_beta2
+        )
+        self.verifier = Verifier(
+            self.simulator,
+            self.spec,
+            self.operational,
+            beta2=self.config.reliability_beta2,
+            use_mu_sigma=self.config.use_mu_sigma,
+            use_reordering=self.config.use_reordering,
+            rng=self.rng,
+        )
+        self._mismatch_sampler = MismatchSampler(
+            circuit.mismatch_model,
+            include_global=self.operational.include_global,
+            include_local=self.operational.include_local,
+            rng=self.rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1-2: initial sampling and seeding
+    # ------------------------------------------------------------------
+    def _typical_reward(self, design: np.ndarray) -> float:
+        record = self.simulator.simulate_typical(design)
+        return reward_from_metrics(self.spec, record.metrics)
+
+    def _initial_sampling(self) -> np.ndarray:
+        """Run TuRBO at the typical condition; returns the best design."""
+        sampler = TurboSampler(
+            self.circuit.dimension,
+            rng=self.rng,
+            batch_size=self.config.optimization_parallelism,
+        )
+        result = sampler.run(
+            self._typical_reward,
+            max_evaluations=self.config.initial_samples,
+            feasible_target=self.config.initial_feasible_target,
+        )
+        # Every TuRBO evaluation is information about the reward landscape;
+        # store it so the critic starts from a useful prior.  Worst-case
+        # corrections arrive from the RL iterations themselves.
+        for design, reward in zip(result.designs, result.rewards):
+            self.agent.observe(design, reward)
+        return result.best_design
+
+    def _seed_buffers(self, designs: List[np.ndarray]) -> None:
+        """Simulate seeds across all corners and fill the worst-case buffers."""
+        for design in designs:
+            x_physical = self.circuit.denormalize(design)
+            worst_reward = FEASIBLE_REWARD
+            for corner in self.operational.corners:
+                if self.operational.include_local or self.operational.include_global:
+                    mismatch_set = self._mismatch_sampler.sample(
+                        x_physical, self.operational.optimization_samples
+                    )
+                    records = self.simulator.simulate_mismatch_set(
+                        design,
+                        corner,
+                        mismatch_set,
+                        phase=SimulationPhase.INITIAL_SAMPLING,
+                    )
+                else:
+                    records = [
+                        self.simulator.simulate(
+                            design,
+                            corner,
+                            None,
+                            phase=SimulationPhase.INITIAL_SAMPLING,
+                        )
+                    ]
+                metric_dicts = [r.metrics for r in records]
+                _, corner_worst = rewards_and_worst(self.spec, metric_dicts)
+                self.last_worst.update(corner, corner_worst)
+                worst_reward = min(worst_reward, corner_worst)
+                if self.config.risk_adjusted_reward and len(records) >= 2:
+                    screen = self.screen_evaluator.evaluate(metric_dicts)
+                    estimate_reward = reward_from_metrics(
+                        self.spec, screen.estimates
+                    )
+                    worst_reward = min(worst_reward, estimate_reward)
+            self.agent.observe(design, worst_reward)
+
+    # ------------------------------------------------------------------
+    # Phase 3-4: the optimization / verification loop
+    # ------------------------------------------------------------------
+    def run(self) -> OptimizationResult:
+        """Execute the full workflow and return the run's result."""
+        best_design = self._initial_sampling()
+        seeds = [best_design]
+        if self.config.seed_designs > 1:
+            designs = self.agent.buffer.all_designs()
+            rewards = self.agent.buffer.all_rewards()
+            order = np.argsort(-rewards)
+            for index in order[1 : self.config.seed_designs]:
+                seeds.append(designs[index])
+        self._seed_buffers(seeds)
+        self.agent.actor.pretrain_towards(
+            self.agent.buffer.all_designs(), best_design
+        )
+        self.agent.update()
+
+        history: List[IterationRecord] = []
+        verification_attempts = 0
+        last_design = best_design
+
+        for iteration in range(1, self.config.max_iterations + 1):
+            design = self.agent.propose(last_design)
+            worst_corner = self.last_worst.worst_corner()
+            x_physical = self.circuit.denormalize(design)
+
+            mismatch_set = self._mismatch_sampler.sample(
+                x_physical,
+                self.operational.optimization_samples,
+                independent_globals=True,
+            )
+            records = self.simulator.simulate_mismatch_set(
+                design, worst_corner, mismatch_set, phase=SimulationPhase.OPTIMIZATION
+            )
+            metric_dicts = [r.metrics for r in records]
+            rewards, worst_reward = rewards_and_worst(self.spec, metric_dicts)
+            self.last_worst.update(worst_corner, worst_reward)
+
+            # --- step 4: mu-sigma decision on whether to verify ----------
+            screen = self.screen_evaluator.evaluate(metric_dicts)
+            if self.config.use_mu_sigma:
+                should_verify = screen.passed
+            else:
+                should_verify = bool(np.all(rewards >= FEASIBLE_REWARD))
+
+            # Risk-adjusted stored reward: penalise designs whose sampled
+            # metric distribution leaves less than beta2-sigma of headroom,
+            # even if no individual sample failed outright (Eq. 1 applied at
+            # the sample level; disabled by the `risk_adjusted_reward` flag).
+            stored_reward = worst_reward
+            if self.config.risk_adjusted_reward and len(records) >= 2:
+                estimate_reward = reward_from_metrics(self.spec, screen.estimates)
+                stored_reward = min(worst_reward, estimate_reward)
+
+            verification_passed = False
+            if should_verify:
+                verification_attempts += 1
+                outcome = self.verifier.verify(
+                    design,
+                    self.last_worst,
+                    reusable_records={worst_corner.name: records},
+                    reusable_mismatch={worst_corner.name: mismatch_set},
+                )
+                verification_passed = outcome.passed
+                worst_reward = min(worst_reward, outcome.worst_reward)
+                stored_reward = min(stored_reward, outcome.worst_reward)
+                if outcome.failed_corner is not None:
+                    failed_corner = next(
+                        corner
+                        for corner in self.operational.corners
+                        if corner.name == outcome.failed_corner
+                    )
+                    self.last_worst.update(failed_corner, outcome.worst_reward)
+
+            predicted_mean, predicted_std = self.agent.critic.predict_components(
+                design.reshape(1, -1)
+            )
+            history.append(
+                IterationRecord(
+                    iteration=iteration,
+                    design=design.copy(),
+                    worst_reward=worst_reward,
+                    predicted_bound=self.agent.predicted_bound(design),
+                    predicted_mean=float(predicted_mean[0]),
+                    predicted_std=float(predicted_std[0]),
+                    corner_name=worst_corner.name,
+                    attempted_verification=should_verify,
+                    verification_passed=verification_passed,
+                )
+            )
+
+            if verification_passed:
+                return self._build_result(
+                    success=True,
+                    iterations=iteration,
+                    final_design=design,
+                    history=history,
+                    verification_attempts=verification_attempts,
+                )
+
+            # --- step 6: store the worst reward and update the agent -----
+            self.agent.observe(design, stored_reward)
+            summary = self.agent.update()
+            history[-1].critic_loss = summary.critic_loss
+            history[-1].actor_loss = summary.actor_loss
+            last_design = design
+
+        return self._build_result(
+            success=False,
+            iterations=self.config.max_iterations,
+            final_design=None,
+            history=history,
+            verification_attempts=verification_attempts,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_result(
+        self,
+        success: bool,
+        iterations: int,
+        final_design: Optional[np.ndarray],
+        history: List[IterationRecord],
+        verification_attempts: int,
+    ) -> OptimizationResult:
+        final_metrics: Optional[Dict[str, float]] = None
+        final_physical: Optional[np.ndarray] = None
+        if final_design is not None:
+            final_physical = self.circuit.denormalize(final_design)
+            final_metrics = self.circuit.evaluate(final_design)
+        return OptimizationResult(
+            success=success,
+            iterations=iterations,
+            simulations=self.budget.snapshot(),
+            runtime=self.budget.modelled_runtime(),
+            final_design=final_design,
+            final_design_physical=final_physical,
+            final_metrics=final_metrics,
+            verification_attempts=verification_attempts,
+            history=history,
+            method=self.operational.method.value,
+            circuit=self.circuit.name,
+        )

@@ -1,0 +1,124 @@
+"""Replay buffers used by the risk-sensitive agent.
+
+Two buffers appear in Fig. 2 of the paper:
+
+* the **worst-case replay buffer** ``B_worst`` stores ``(x, r_worst)``
+  pairs, where ``r_worst`` is the minimum reward across the mismatch
+  conditions simulated for that design at the worst corner;
+* the **last worst-case buffer** remembers, per PVT corner, the most recent
+  worst reward observed there — it is used both to pick the worst corner for
+  the next optimization step and to order corners at the start of
+  verification (Algorithm 2 sorts ``T`` by it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.variation.corners import CornerSet, PVTCorner
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One stored experience: a design and its worst-case reward."""
+
+    design: np.ndarray
+    reward: float
+
+
+class WorstCaseReplayBuffer:
+    """Fixed-capacity FIFO buffer of ``(design, worst reward)`` pairs."""
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._storage: List[Transition] = []
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def add(self, design: np.ndarray, reward: float) -> None:
+        transition = Transition(np.array(design, dtype=float, copy=True), float(reward))
+        if len(self._storage) < self._capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+            self._cursor = (self._cursor + 1) % self._capacity
+
+    def sample(
+        self, batch_size: int, rng: Optional[np.random.Generator] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """A random batch (with replacement when the buffer is small)."""
+        if not self._storage:
+            raise ValueError("cannot sample from an empty buffer")
+        rng = rng if rng is not None else np.random.default_rng()
+        replace = len(self._storage) < batch_size
+        indices = rng.choice(len(self._storage), size=batch_size, replace=replace)
+        designs = np.stack([self._storage[i].design for i in indices])
+        rewards = np.array([self._storage[i].reward for i in indices])
+        return designs, rewards
+
+    def best(self) -> Transition:
+        """The stored transition with the highest worst-case reward."""
+        if not self._storage:
+            raise ValueError("buffer is empty")
+        return max(self._storage, key=lambda t: t.reward)
+
+    def all_designs(self) -> np.ndarray:
+        return np.stack([t.design for t in self._storage])
+
+    def all_rewards(self) -> np.ndarray:
+        return np.array([t.reward for t in self._storage])
+
+
+class LastWorstCaseBuffer:
+    """Per-corner memory of the most recent worst reward.
+
+    Corners that have not been visited yet report ``None`` and are treated
+    as *worst* (lowest priority value) so the optimizer explores them first.
+    """
+
+    def __init__(self, corners: CornerSet):
+        self._corners = corners
+        self._last: Dict[str, Optional[float]] = {c.name: None for c in corners}
+
+    @property
+    def corners(self) -> CornerSet:
+        return self._corners
+
+    def update(self, corner: PVTCorner, reward: float) -> None:
+        if corner.name not in self._last:
+            raise KeyError(f"corner {corner.name} not tracked by this buffer")
+        self._last[corner.name] = float(reward)
+
+    def reward_of(self, corner: PVTCorner) -> Optional[float]:
+        return self._last[corner.name]
+
+    def worst_corner(self) -> PVTCorner:
+        """The corner with the lowest recorded reward (unvisited first)."""
+        def key(corner: PVTCorner) -> float:
+            value = self._last[corner.name]
+            return -np.inf if value is None else value
+
+        return min(self._corners, key=key)
+
+    def sorted_corners(self) -> CornerSet:
+        """Corners ordered worst-first (Algorithm 2's initial sort of T)."""
+        def key(corner: PVTCorner) -> float:
+            value = self._last[corner.name]
+            return -np.inf if value is None else value
+
+        ordered = sorted(self._corners, key=key)
+        return CornerSet(ordered)
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return dict(self._last)

@@ -1,0 +1,92 @@
+"""Result containers for optimization runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class IterationRecord:
+    """Per-RL-iteration trace used for analysis and the Fig.-3 benchmark."""
+
+    iteration: int
+    design: np.ndarray
+    worst_reward: float
+    predicted_bound: float
+    predicted_mean: float
+    predicted_std: float
+    corner_name: str
+    attempted_verification: bool
+    verification_passed: bool
+    critic_loss: float = float("nan")
+    actor_loss: float = float("nan")
+
+
+@dataclass
+class OptimizationResult:
+    """Everything a Table-II row needs about one optimization run.
+
+    Attributes
+    ----------
+    success:
+        True when a design passed full verification within the budget.
+    iterations:
+        RL iterations used (the paper's "RL Iteration" column; initial
+        TuRBO sampling is not an RL iteration).
+    simulations:
+        Snapshot dict with initial-sampling / optimization / verification /
+        total SPICE-equivalent simulation counts.
+    runtime:
+        Modelled wall-clock (see :class:`repro.simulation.SimulationBudget`).
+    final_design / final_design_physical:
+        The verified design in normalised and physical units (None when the
+        run failed).
+    final_metrics:
+        Metrics of the verified design at the typical condition.
+    verification_attempts:
+        How many times full verification was started.
+    history:
+        Per-iteration trace.
+    method / circuit:
+        Labels for reporting.
+    """
+
+    success: bool
+    iterations: int
+    simulations: Dict[str, int]
+    runtime: float
+    final_design: Optional[np.ndarray] = None
+    final_design_physical: Optional[np.ndarray] = None
+    final_metrics: Optional[Dict[str, float]] = None
+    verification_attempts: int = 0
+    history: List[IterationRecord] = field(default_factory=list)
+    method: str = ""
+    circuit: str = ""
+
+    @property
+    def total_simulations(self) -> int:
+        return self.simulations.get("total", 0)
+
+    @property
+    def optimization_simulations(self) -> int:
+        return self.simulations.get("initial_sampling", 0) + self.simulations.get(
+            "optimization", 0
+        )
+
+    @property
+    def verification_simulations(self) -> int:
+        return self.simulations.get("verification", 0)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "SUCCESS" if self.success else "FAILED"
+        return (
+            f"[{status}] {self.circuit} / {self.method}: "
+            f"{self.iterations} RL iterations, "
+            f"{self.total_simulations} simulations, "
+            f"runtime {self.runtime:.1f} (modelled units), "
+            f"{self.verification_attempts} verification attempts"
+        )

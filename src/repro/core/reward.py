@@ -1,0 +1,59 @@
+"""The consolidated reward of Eq. (4)-(5).
+
+A design earns the fixed feasible reward ``0.2`` when it satisfies every
+constraint; otherwise its reward is the (negative) sum of the normalised
+constraint violations::
+
+    r' = sum_i min(f_i, 0)        r = 0.2 if r' >= 0 else r'
+
+The worst-case reward over a set of simulations is simply the minimum, which
+is what the risk-sensitive agent stores in its replay buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.spec import DesignSpec
+
+#: Reward granted to a fully feasible design (Eq. 4).
+FEASIBLE_REWARD = 0.2
+
+
+def reward_from_normalized(normalized_metrics: np.ndarray) -> float:
+    """Reward from a vector of normalised metrics ``f_i``."""
+    normalized_metrics = np.asarray(normalized_metrics, dtype=float)
+    shortfall = float(np.sum(np.minimum(normalized_metrics, 0.0)))
+    return FEASIBLE_REWARD if shortfall >= 0.0 else shortfall
+
+
+def reward_from_metrics(spec: DesignSpec, metrics: Mapping[str, float]) -> float:
+    """Reward for one simulation outcome."""
+    return reward_from_normalized(spec.normalized_metrics(metrics))
+
+
+def worst_case_reward(
+    spec: DesignSpec, metric_dicts: Iterable[Mapping[str, float]]
+) -> float:
+    """Minimum reward across a set of simulation outcomes."""
+    rewards = [reward_from_metrics(spec, metrics) for metrics in metric_dicts]
+    if not rewards:
+        raise ValueError("worst_case_reward needs at least one outcome")
+    return min(rewards)
+
+
+def rewards_and_worst(
+    spec: DesignSpec, metric_dicts: Sequence[Mapping[str, float]]
+) -> Tuple[np.ndarray, float]:
+    """All rewards plus the worst one, in a single pass."""
+    rewards = np.array(
+        [reward_from_metrics(spec, metrics) for metrics in metric_dicts]
+    )
+    return rewards, float(rewards.min())
+
+
+def is_feasible_reward(reward: float) -> bool:
+    """True when a reward corresponds to a fully feasible simulation."""
+    return reward >= FEASIBLE_REWARD

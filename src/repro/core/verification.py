@@ -1,0 +1,245 @@
+"""Hierarchical verification (Algorithm 2 of the paper).
+
+Verification proceeds in two passes over the corner set:
+
+1. **Screening pass** — corners are visited worst-first (ordered by the
+   last-worst-case buffer); for each corner ``N'`` mismatch conditions are
+   sampled and simulated, the mu-sigma screen (Eq. 7) is applied, and —
+   if it passes — the corner's t-SCORE and Pearson correlation vector are
+   computed.  Any mu-sigma failure aborts verification immediately.
+
+2. **Full pass** — corners are re-ordered by t-SCORE (most dangerous
+   first); for each corner the remaining ``N - N'`` mismatch conditions are
+   sampled, ranked by h-SCORE, and simulated in that order.  The first
+   simulation whose reward is not the feasible 0.2 aborts verification.
+
+If both passes complete, the design is verified for the chosen scenario.
+The worst-corner subset simulated during the optimization phase can be
+passed in and is reused rather than re-simulated (Section V.A notes this
+reuse explicitly).
+
+The two Table-III ablation switches live here as well:
+
+* ``use_mu_sigma=False`` removes the Eq.-7 screen — every corner proceeds
+  to full MC (failures are only caught by individual failing samples);
+* ``use_reordering=False`` keeps the corner order from the last-worst-case
+  buffer and simulates mismatch conditions in their sampled order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import OperationalConfig
+from repro.core.mu_sigma import MuSigmaEvaluator, MuSigmaResult
+from repro.core.reordering import h_scores, order_by_scores, pearson_correlation, t_score
+from repro.core.replay import LastWorstCaseBuffer
+from repro.core.reward import FEASIBLE_REWARD, reward_from_metrics
+from repro.core.spec import DesignSpec
+from repro.simulation.budget import SimulationPhase
+from repro.simulation.simulator import CircuitSimulator, SimulationRecord
+from repro.variation.corners import CornerSet, PVTCorner
+from repro.variation.mismatch import MismatchSampler, MismatchSet
+
+
+@dataclass
+class CornerScreenResult:
+    """Per-corner outcome of the screening pass."""
+
+    corner: PVTCorner
+    mu_sigma: MuSigmaResult
+    t_score: float
+    correlation: np.ndarray
+    records: List[SimulationRecord]
+    mismatch_set: MismatchSet
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one verification attempt for a candidate design."""
+
+    passed: bool
+    simulations: int
+    failed_corner: Optional[str] = None
+    failure_stage: Optional[str] = None  # "mu_sigma" or "full_mc"
+    worst_reward: float = FEASIBLE_REWARD
+    corner_reports: List[CornerScreenResult] = field(default_factory=list)
+
+
+class Verifier:
+    """Runs Algorithm 2 for a candidate design."""
+
+    def __init__(
+        self,
+        simulator: CircuitSimulator,
+        spec: DesignSpec,
+        operational: OperationalConfig,
+        beta2: float = 4.0,
+        use_mu_sigma: bool = True,
+        use_reordering: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.simulator = simulator
+        self.spec = spec
+        self.operational = operational
+        self.evaluator = MuSigmaEvaluator(spec, beta2=beta2)
+        self.use_mu_sigma = use_mu_sigma
+        self.use_reordering = use_reordering
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    def _sampler(self) -> MismatchSampler:
+        return MismatchSampler(
+            self.simulator.circuit.mismatch_model,
+            include_global=self.operational.include_global,
+            include_local=self.operational.include_local,
+            rng=self.rng,
+        )
+
+    def _performance_sum(self, record: SimulationRecord) -> float:
+        """The summed normalised performance ``g`` for one simulation."""
+        return float(np.sum(self.spec.normalized_metrics(record.metrics)))
+
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        design: np.ndarray,
+        last_worst: LastWorstCaseBuffer,
+        reusable_records: Optional[Dict[str, List[SimulationRecord]]] = None,
+        reusable_mismatch: Optional[Dict[str, MismatchSet]] = None,
+    ) -> VerificationResult:
+        """Run Algorithm 2 for ``design``.
+
+        Parameters
+        ----------
+        design:
+            Normalised sizing vector to verify.
+        last_worst:
+            The last-worst-case corner buffer (supplies the initial order).
+        reusable_records / reusable_mismatch:
+            Optimization-phase simulations for specific corners (keyed by
+            corner name), typically the worst corner's ``N'`` subset, which
+            Algorithm 2 reuses instead of re-simulating.
+        """
+        reusable_records = reusable_records or {}
+        reusable_mismatch = reusable_mismatch or {}
+        sampler = self._sampler()
+        x_physical = self.simulator.circuit.denormalize(design)
+        simulations_before = self.simulator.budget.total
+
+        # ----- pass 1: screening (mu-sigma + correlation) ---------------
+        screen_order = last_worst.sorted_corners()
+        screen_results: List[CornerScreenResult] = []
+        worst_reward = FEASIBLE_REWARD
+
+        for corner in screen_order:
+            if corner.name in reusable_records:
+                records = reusable_records[corner.name]
+                mismatch_set = reusable_mismatch.get(
+                    corner.name,
+                    MismatchSet(
+                        np.stack(
+                            [
+                                r.mismatch
+                                if r.mismatch is not None
+                                else sampler.model.zero()
+                                for r in records
+                            ]
+                        ),
+                        sampler.model.zero(),
+                    ),
+                )
+            else:
+                mismatch_set = sampler.sample(
+                    x_physical, self.operational.optimization_samples
+                )
+                records = self.simulator.simulate_mismatch_set(
+                    design, corner, mismatch_set, phase=SimulationPhase.VERIFICATION
+                )
+
+            rewards = [reward_from_metrics(self.spec, r.metrics) for r in records]
+            worst_reward = min(worst_reward, min(rewards))
+            mu_sigma = self.evaluator.evaluate([r.metrics for r in records])
+
+            screen_failed = (
+                not mu_sigma.passed
+                if self.use_mu_sigma
+                else any(reward < FEASIBLE_REWARD for reward in rewards)
+            )
+            if screen_failed:
+                return VerificationResult(
+                    passed=False,
+                    simulations=self.simulator.budget.total - simulations_before,
+                    failed_corner=corner.name,
+                    failure_stage="mu_sigma" if self.use_mu_sigma else "screen",
+                    worst_reward=worst_reward,
+                    corner_reports=screen_results,
+                )
+
+            performance = np.array([self._performance_sum(r) for r in records])
+            correlation = pearson_correlation(mismatch_set.samples, performance)
+            screen_results.append(
+                CornerScreenResult(
+                    corner=corner,
+                    mu_sigma=mu_sigma,
+                    t_score=t_score(self.spec, mu_sigma),
+                    correlation=correlation,
+                    records=records,
+                    mismatch_set=mismatch_set,
+                )
+            )
+
+        # ----- pass 2: full verification with reordering ------------------
+        remaining = (
+            self.operational.verification_samples
+            - self.operational.optimization_samples
+        )
+        if remaining > 0:
+            if self.use_reordering:
+                ordered = sorted(screen_results, key=lambda s: s.t_score, reverse=True)
+            else:
+                ordered = list(screen_results)
+
+            for screen in ordered:
+                extra_set = sampler.sample(
+                    x_physical,
+                    remaining,
+                    global_shift=screen.mismatch_set.global_shift
+                    if self.operational.include_global
+                    else None,
+                )
+                if self.use_reordering:
+                    scores = h_scores(extra_set.samples, screen.correlation)
+                    order = order_by_scores(scores, descending=True)
+                else:
+                    order = np.arange(len(extra_set))
+
+                for index in order:
+                    record = self.simulator.simulate(
+                        design,
+                        screen.corner,
+                        extra_set[index],
+                        phase=SimulationPhase.VERIFICATION,
+                    )
+                    reward = reward_from_metrics(self.spec, record.metrics)
+                    worst_reward = min(worst_reward, reward)
+                    if reward < FEASIBLE_REWARD:
+                        return VerificationResult(
+                            passed=False,
+                            simulations=self.simulator.budget.total
+                            - simulations_before,
+                            failed_corner=screen.corner.name,
+                            failure_stage="full_mc",
+                            worst_reward=worst_reward,
+                            corner_reports=screen_results,
+                        )
+
+        return VerificationResult(
+            passed=True,
+            simulations=self.simulator.budget.total - simulations_before,
+            worst_reward=worst_reward,
+            corner_reports=screen_results,
+        )

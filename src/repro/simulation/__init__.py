@@ -1,0 +1,23 @@
+"""Simulation service: evaluates designs under corners and mismatch.
+
+The optimizer and the verification phase never call circuit models directly;
+they go through a :class:`~repro.simulation.simulator.CircuitSimulator`,
+which
+
+* evaluates ``(x, corner, h)`` tuples and returns metric dictionaries,
+* counts every SPICE-equivalent simulation (the paper's "# Simulation"
+  column), split into optimization-phase and verification-phase counts,
+* models wall-clock cost so normalized-runtime comparisons can be made
+  without a real HSPICE testbed, and
+* exposes batched helpers that mirror the paper's parallel sample size.
+"""
+
+from repro.simulation.budget import SimulationBudget, SimulationPhase
+from repro.simulation.simulator import CircuitSimulator, SimulationRecord
+
+__all__ = [
+    "SimulationBudget",
+    "SimulationPhase",
+    "CircuitSimulator",
+    "SimulationRecord",
+]

@@ -1,0 +1,113 @@
+"""The simulation front end used by the optimizer and the verifier.
+
+``CircuitSimulator`` wraps a testbench circuit and exposes evaluation entry
+points that mirror how the paper issues SPICE jobs:
+
+* :meth:`simulate` — one design, one corner, one mismatch condition;
+* :meth:`simulate_mismatch_set` — one design and corner across a sampled
+  mismatch-condition set (the optimization-phase N' batch);
+* :meth:`simulate_corners` — one design across a corner set at nominal
+  mismatch (plain corner simulation).
+
+Every call is charged to a :class:`~repro.simulation.budget.SimulationBudget`
+so the paper's "# Simulation" column can be reproduced exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.base import AnalogCircuit
+from repro.simulation.budget import SimulationBudget, SimulationPhase
+from repro.variation.corners import CornerSet, PVTCorner, typical_corner
+from repro.variation.mismatch import MismatchSet
+
+
+@dataclass(frozen=True)
+class SimulationRecord:
+    """One simulation outcome: the metrics for ``(x, corner, h)``."""
+
+    metrics: Dict[str, float]
+    corner: PVTCorner
+    mismatch: Optional[np.ndarray]
+
+    def metric_vector(self, names: Sequence[str]) -> np.ndarray:
+        return np.array([self.metrics[name] for name in names])
+
+
+class CircuitSimulator:
+    """Evaluates a circuit under PVT corners and mismatch with cost tracking."""
+
+    def __init__(
+        self,
+        circuit: AnalogCircuit,
+        budget: Optional[SimulationBudget] = None,
+    ):
+        self._circuit = circuit
+        self._budget = budget if budget is not None else SimulationBudget()
+
+    @property
+    def circuit(self) -> AnalogCircuit:
+        return self._circuit
+
+    @property
+    def budget(self) -> SimulationBudget:
+        return self._budget
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        x_normalized: np.ndarray,
+        corner: Optional[PVTCorner] = None,
+        mismatch: Optional[np.ndarray] = None,
+        phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
+    ) -> SimulationRecord:
+        """Run a single SPICE-equivalent simulation."""
+        corner = corner if corner is not None else typical_corner()
+        self._budget.record(phase, 1)
+        metrics = self._circuit.evaluate(x_normalized, corner, mismatch)
+        return SimulationRecord(metrics=metrics, corner=corner, mismatch=mismatch)
+
+    def simulate_mismatch_set(
+        self,
+        x_normalized: np.ndarray,
+        corner: PVTCorner,
+        mismatch_set: MismatchSet,
+        phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
+    ) -> List[SimulationRecord]:
+        """Evaluate one design at one corner across every mismatch condition."""
+        records = []
+        for mismatch in mismatch_set:
+            records.append(self.simulate(x_normalized, corner, mismatch, phase))
+        return records
+
+    def simulate_corners(
+        self,
+        x_normalized: np.ndarray,
+        corners: CornerSet,
+        mismatch: Optional[np.ndarray] = None,
+        phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
+    ) -> List[SimulationRecord]:
+        """Evaluate one design across a corner set at a fixed mismatch."""
+        return [
+            self.simulate(x_normalized, corner, mismatch, phase) for corner in corners
+        ]
+
+    def simulate_typical(
+        self,
+        x_normalized: np.ndarray,
+        phase: SimulationPhase = SimulationPhase.INITIAL_SAMPLING,
+    ) -> SimulationRecord:
+        """Evaluate at the typical TT / nominal-VT condition (initial sampling)."""
+        return self.simulate(x_normalized, typical_corner(), None, phase)
+
+    # ------------------------------------------------------------------
+    def metrics_matrix(
+        self, records: Sequence[SimulationRecord]
+    ) -> np.ndarray:
+        """Stack record metrics into an ``(n_records, n_metrics)`` array."""
+        names = self._circuit.metric_names
+        return np.array([record.metric_vector(names) for record in records])

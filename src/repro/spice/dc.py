@@ -1,0 +1,93 @@
+"""DC operating-point solution via damped Newton iteration on the MNA system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.spice.mna import MNAStamper
+from repro.spice.netlist import Circuit, GROUND
+from repro.variation.corners import PVTCorner
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the Newton iteration fails to converge."""
+
+
+@dataclass
+class DCSolution:
+    """Node voltages and voltage-source currents at the DC operating point."""
+
+    voltages: Dict[str, float]
+    source_currents: Dict[str, float]
+    iterations: int
+
+    def __getitem__(self, node: str) -> float:
+        if node == GROUND:
+            return 0.0
+        return self.voltages[node]
+
+    def voltage_between(self, node_a: str, node_b: str) -> float:
+        return self[node_a] - self[node_b]
+
+
+def solve_dc(
+    circuit: Circuit,
+    corner: Optional[PVTCorner] = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-9,
+    damping: float = 1.0,
+    initial_guess: Optional[Dict[str, float]] = None,
+) -> DCSolution:
+    """Compute the DC operating point of ``circuit``.
+
+    Linear circuits converge in a single step.  Circuits containing MOSFETs
+    are solved with a damped Newton iteration on the companion-model
+    linearisation; ``damping`` < 1 trades speed for robustness.
+    """
+    stamper = MNAStamper(circuit, corner)
+    num_nodes = stamper.num_nodes
+    voltages = np.zeros(num_nodes)
+    if initial_guess:
+        for node, value in initial_guess.items():
+            if node in stamper.node_index:
+                voltages[stamper.node_index[node]] = value
+
+    nonlinear = circuit.has_nonlinear_elements()
+    iterations_used = 0
+
+    for iteration in range(1, max_iterations + 1):
+        iterations_used = iteration
+        system = stamper.assemble(voltages=voltages)
+        try:
+            solution = np.linalg.solve(system.matrix, system.rhs)
+        except np.linalg.LinAlgError as error:
+            raise ConvergenceError(
+                f"singular MNA matrix for circuit {circuit.name!r}: {error}"
+            ) from error
+        new_voltages = solution[:num_nodes]
+        if not nonlinear:
+            voltages = new_voltages
+            break
+        delta = new_voltages - voltages
+        voltages = voltages + damping * delta
+        if np.max(np.abs(delta)) < tolerance:
+            break
+    else:
+        raise ConvergenceError(
+            f"DC solve of {circuit.name!r} did not converge in "
+            f"{max_iterations} iterations"
+        )
+
+    system = stamper.assemble(voltages=voltages)
+    solution = np.linalg.solve(system.matrix, system.rhs)
+    node_voltages = {
+        name: float(solution[index]) for name, index in stamper.node_index.items()
+    }
+    source_currents = {
+        name: float(solution[num_nodes + index])
+        for name, index in stamper.source_index.items()
+    }
+    return DCSolution(node_voltages, source_currents, iterations_used)

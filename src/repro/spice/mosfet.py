@@ -1,0 +1,304 @@
+"""MOSFET compact model used by the simulation substrate.
+
+The model is a square-law formulation with first-order velocity saturation,
+channel-length modulation and subthreshold conduction — enough physics that
+sizing decisions (W, L) and environment (corner Vth/mobility shifts, supply,
+temperature) move the performance metrics the way a designer expects:
+
+* larger W/L -> more current, more transconductance, more capacitance;
+* slow corners / high temperature -> less current and slower circuits;
+* higher supply -> more overdrive, more current, more dynamic energy;
+* mismatch enters as a per-device threshold shift and a relative
+  current-factor error, exactly the two Pelgrom quantities sampled in
+  :mod:`repro.variation`.
+
+All dimensions are SI (metres, volts, amps, farads) unless noted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.variation.corners import PVTCorner
+
+BOLTZMANN = 1.380649e-23
+ELECTRON_CHARGE = 1.602176634e-19
+
+
+@dataclass(frozen=True)
+class MosfetParameters:
+    """Technology parameters for one device polarity.
+
+    Attributes
+    ----------
+    vth0:
+        Zero-bias threshold voltage magnitude at 27 degC (V).
+    mu_cox:
+        Process transconductance ``mu * Cox`` at 27 degC (A/V^2).
+    lambda_per_um:
+        Channel-length modulation coefficient normalised to a 1 um channel
+        (1/V*um); the effective lambda is ``lambda_per_um / L_um``.
+    v_sat_effect:
+        Velocity-saturation critical field expressed in V/um; the effective
+        saturation knee voltage is ``v_sat_effect * L_um`` (shorter channels
+        saturate at lower Vds, the classic Esat*L behaviour).
+    cox_per_area:
+        Gate-oxide capacitance per unit area (F/m^2).
+    c_overlap_per_width:
+        Overlap/fringe capacitance per unit gate width (F/m).
+    vth_temp_coeff:
+        Threshold drift per kelvin (V/K), negative for both polarities.
+    mobility_temp_exponent:
+        Mobility power-law exponent ``mu ~ (T/300K)^-k``.
+    subthreshold_slope:
+        Subthreshold swing factor ``n`` in ``exp(Vgs/(n*kT/q))``.
+    gamma_noise:
+        Thermal-noise gamma coefficient (2/3 long channel, ~1 short channel).
+    """
+
+    vth0: float
+    mu_cox: float
+    lambda_per_um: float
+    v_sat_effect: float
+    cox_per_area: float
+    c_overlap_per_width: float
+    vth_temp_coeff: float
+    mobility_temp_exponent: float
+    subthreshold_slope: float
+    gamma_noise: float
+    polarity: str = "nmos"
+
+
+def nmos_28nm() -> MosfetParameters:
+    """Representative 28 nm NMOS parameters (public-domain textbook values)."""
+    return MosfetParameters(
+        vth0=0.32,
+        mu_cox=320e-6,
+        lambda_per_um=0.08,
+        v_sat_effect=5.0,
+        cox_per_area=0.012,
+        c_overlap_per_width=0.35e-9,
+        vth_temp_coeff=-0.8e-3,
+        mobility_temp_exponent=1.4,
+        subthreshold_slope=1.45,
+        gamma_noise=1.0,
+        polarity="nmos",
+    )
+
+
+def pmos_28nm() -> MosfetParameters:
+    """Representative 28 nm PMOS parameters."""
+    return MosfetParameters(
+        vth0=0.34,
+        mu_cox=140e-6,
+        lambda_per_um=0.10,
+        v_sat_effect=9.0,
+        cox_per_area=0.012,
+        c_overlap_per_width=0.35e-9,
+        vth_temp_coeff=-0.8e-3,
+        mobility_temp_exponent=1.3,
+        subthreshold_slope=1.5,
+        gamma_noise=1.0,
+        polarity="pmos",
+    )
+
+
+@dataclass(frozen=True)
+class MosfetOperatingPoint:
+    """Small-signal quantities at a bias point."""
+
+    ids: float
+    gm: float
+    gds: float
+    vgs: float
+    vds: float
+    vth: float
+    vov: float
+    region: str
+
+
+class MosfetModel:
+    """A sized MOSFET instance with environment- and mismatch-aware evaluation.
+
+    Parameters
+    ----------
+    width / length:
+        Gate dimensions in metres.
+    parameters:
+        Technology parameters (defaults to the 28 nm NMOS set).
+    """
+
+    MIN_LENGTH = 20e-9
+    MIN_WIDTH = 50e-9
+
+    def __init__(
+        self,
+        width: float,
+        length: float,
+        parameters: Optional[MosfetParameters] = None,
+    ):
+        if width < self.MIN_WIDTH:
+            raise ValueError(f"width {width} m below minimum {self.MIN_WIDTH} m")
+        if length < self.MIN_LENGTH:
+            raise ValueError(f"length {length} m below minimum {self.MIN_LENGTH} m")
+        self.width = float(width)
+        self.length = float(length)
+        self.parameters = parameters if parameters is not None else nmos_28nm()
+
+    # ------------------------------------------------------------------
+    # Environment handling
+    # ------------------------------------------------------------------
+    def effective_parameters(
+        self,
+        corner: Optional[PVTCorner] = None,
+        vth_shift: float = 0.0,
+        beta_error: float = 0.0,
+    ) -> MosfetParameters:
+        """Apply corner skew, temperature, and mismatch to the parameter set.
+
+        ``vth_shift`` is an additive threshold error (V) and ``beta_error`` a
+        relative current-factor error, i.e. the two mismatch quantities
+        produced by :class:`repro.variation.MismatchModel`.
+        """
+        params = self.parameters
+        vth = params.vth0
+        mu_cox = params.mu_cox
+        if corner is not None:
+            if params.polarity == "nmos":
+                vth = vth + corner.process.nmos_vth_shift
+                mu_cox = mu_cox * corner.process.nmos_mobility_scale
+            else:
+                vth = vth + corner.process.pmos_vth_shift
+                mu_cox = mu_cox * corner.process.pmos_mobility_scale
+            delta_t = corner.temperature - 27.0
+            vth = vth + params.vth_temp_coeff * delta_t
+            t_ratio = corner.temperature_kelvin / 300.15
+            mu_cox = mu_cox * t_ratio ** (-params.mobility_temp_exponent)
+        vth = vth + vth_shift
+        mu_cox = mu_cox * (1.0 + beta_error)
+        mu_cox = max(mu_cox, 1e-9)
+        return replace(params, vth0=vth, mu_cox=mu_cox)
+
+    # ------------------------------------------------------------------
+    # Current and small-signal evaluation
+    # ------------------------------------------------------------------
+    def drain_current(
+        self,
+        vgs: float,
+        vds: float,
+        corner: Optional[PVTCorner] = None,
+        vth_shift: float = 0.0,
+        beta_error: float = 0.0,
+    ) -> float:
+        """Drain current (A) for positive ``vgs``/``vds`` conventions.
+
+        The caller is expected to hand in magnitudes for PMOS devices (source
+        referenced), which keeps the model polarity-agnostic.
+        """
+        params = self.effective_parameters(corner, vth_shift, beta_error)
+        return self._ids(vgs, vds, params, corner)
+
+    def operating_point(
+        self,
+        vgs: float,
+        vds: float,
+        corner: Optional[PVTCorner] = None,
+        vth_shift: float = 0.0,
+        beta_error: float = 0.0,
+    ) -> MosfetOperatingPoint:
+        """Bias point with numerically differentiated gm and gds."""
+        params = self.effective_parameters(corner, vth_shift, beta_error)
+        ids = self._ids(vgs, vds, params, corner)
+        delta = 1e-5
+        gm = (self._ids(vgs + delta, vds, params, corner) - ids) / delta
+        gds = (self._ids(vgs, vds + delta, params, corner) - ids) / delta
+        vov = vgs - params.vth0
+        if vov <= 0:
+            region = "subthreshold"
+        elif vds < self._vdsat(vov, params):
+            region = "triode"
+        else:
+            region = "saturation"
+        return MosfetOperatingPoint(
+            ids=ids,
+            gm=max(gm, 0.0),
+            gds=max(gds, 1e-15),
+            vgs=vgs,
+            vds=vds,
+            vth=params.vth0,
+            vov=vov,
+            region=region,
+        )
+
+    def transconductance(
+        self,
+        vgs: float,
+        vds: float,
+        corner: Optional[PVTCorner] = None,
+        vth_shift: float = 0.0,
+        beta_error: float = 0.0,
+    ) -> float:
+        """Small-signal gm at the given bias."""
+        return self.operating_point(vgs, vds, corner, vth_shift, beta_error).gm
+
+    # ------------------------------------------------------------------
+    # Capacitances
+    # ------------------------------------------------------------------
+    def gate_capacitance(self) -> float:
+        """Total gate capacitance (intrinsic channel + overlap), in farads."""
+        intrinsic = self.parameters.cox_per_area * self.width * self.length
+        overlap = 2.0 * self.parameters.c_overlap_per_width * self.width
+        return intrinsic + overlap
+
+    def drain_capacitance(self) -> float:
+        """Junction + overlap capacitance seen at the drain, in farads."""
+        junction = 0.6 * self.parameters.cox_per_area * self.width * self.length
+        overlap = self.parameters.c_overlap_per_width * self.width
+        return 0.5 * junction + overlap
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _vdsat(self, vov: float, params: MosfetParameters) -> float:
+        length_um = self.length * 1e6
+        v_crit = params.v_sat_effect * max(length_um, 1e-3)
+        if vov <= 0:
+            return 0.0
+        return vov * v_crit / (vov + v_crit)
+
+    def _ids(
+        self,
+        vgs: float,
+        vds: float,
+        params: MosfetParameters,
+        corner: Optional[PVTCorner],
+    ) -> float:
+        if vds < 0:
+            vds = 0.0
+        width_over_length = self.width / self.length
+        beta = params.mu_cox * width_over_length
+        vov = vgs - params.vth0
+        temperature_k = 300.15 if corner is None else corner.temperature_kelvin
+        thermal_voltage = BOLTZMANN * temperature_k / ELECTRON_CHARGE
+
+        if vov <= 0:
+            # Subthreshold: exponential in Vgs, saturating in Vds.
+            i_spec = beta * (params.subthreshold_slope - 0.5) * thermal_voltage**2
+            ids = (
+                i_spec
+                * np.exp(vov / (params.subthreshold_slope * thermal_voltage))
+                * (1.0 - np.exp(-vds / thermal_voltage))
+            )
+            return float(max(ids, 0.0))
+
+        vdsat = self._vdsat(vov, params)
+        length_um = self.length * 1e6
+        lam = params.lambda_per_um / max(length_um, 1e-3)
+        if vds >= vdsat:
+            ids = 0.5 * beta * vov * vdsat * (1.0 + lam * (vds - vdsat))
+        else:
+            ids = beta * (vov - 0.5 * vds) * vds
+        return float(max(ids, 0.0))

@@ -1,0 +1,51 @@
+"""First-order noise estimation helpers.
+
+Dynamic comparators and sense amplifiers are dominated by sampled thermal
+noise (kT/C) and by the input-pair thermal noise integrated over the
+regeneration bandwidth.  These helpers provide those quantities so the
+behavioural circuit models can report input-referred noise the same way the
+paper's testbenches do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BOLTZMANN = 1.380649e-23
+
+
+def ktc_noise(capacitance: float, temperature_kelvin: float = 300.15) -> float:
+    """RMS voltage noise (V) sampled onto a capacitor."""
+    if capacitance <= 0:
+        raise ValueError("capacitance must be positive")
+    return float(np.sqrt(BOLTZMANN * temperature_kelvin / capacitance))
+
+
+def mosfet_thermal_noise_current(
+    gm: float, temperature_kelvin: float = 300.15, gamma: float = 1.0
+) -> float:
+    """Thermal noise current PSD (A^2/Hz) of a MOSFET channel."""
+    if gm < 0:
+        raise ValueError("gm must be non-negative")
+    return 4.0 * BOLTZMANN * temperature_kelvin * gamma * gm
+
+
+def thermal_noise_voltage(
+    gm: float,
+    load_capacitance: float,
+    temperature_kelvin: float = 300.15,
+    gamma: float = 1.0,
+    gain: float = 1.0,
+) -> float:
+    """Input-referred RMS noise (V) of a gm-C integration stage.
+
+    Integrating the channel-noise PSD over the single-pole noise bandwidth
+    ``gm / (4 C)`` gives the classic ``gamma * kT/C`` result divided by the
+    stage gain when referred back to the input.
+    """
+    if load_capacitance <= 0:
+        raise ValueError("load_capacitance must be positive")
+    if gain <= 0:
+        raise ValueError("gain must be positive")
+    output_noise_power = gamma * BOLTZMANN * temperature_kelvin / load_capacitance
+    return float(np.sqrt(output_noise_power) / gain)

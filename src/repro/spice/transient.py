@@ -1,0 +1,154 @@
+"""Backward-Euler transient analysis on the MNA system.
+
+Capacitors are replaced per time step with their backward-Euler companion
+model (a conductance ``C/dt`` in parallel with a history current source
+``(C/dt) * v_previous``); nonlinear devices are re-linearised with a short
+Newton loop inside each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.spice.dc import ConvergenceError, solve_dc
+from repro.spice.mna import MNAStamper
+from repro.spice.netlist import Capacitor, Circuit, GROUND, VoltageSource
+from repro.variation.corners import PVTCorner
+
+
+@dataclass
+class TransientResult:
+    """Time-domain waveforms for every node in the circuit."""
+
+    times: np.ndarray
+    waveforms: Dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> np.ndarray:
+        if node == GROUND:
+            return np.zeros_like(self.times)
+        return self.waveforms[node]
+
+    def final_voltage(self, node: str) -> float:
+        return float(self.voltage(node)[-1])
+
+    def crossing_time(self, node: str, threshold: float, rising: bool = True) -> Optional[float]:
+        """First time the node waveform crosses ``threshold`` (linear interp)."""
+        wave = self.voltage(node)
+        for index in range(1, len(wave)):
+            previous, current = wave[index - 1], wave[index]
+            crossed = (
+                previous < threshold <= current
+                if rising
+                else previous > threshold >= current
+            )
+            if crossed:
+                if current == previous:
+                    return float(self.times[index])
+                fraction = (threshold - previous) / (current - previous)
+                return float(
+                    self.times[index - 1]
+                    + fraction * (self.times[index] - self.times[index - 1])
+                )
+        return None
+
+
+def solve_transient(
+    circuit: Circuit,
+    stop_time: float,
+    time_step: float,
+    corner: Optional[PVTCorner] = None,
+    initial_conditions: Optional[Dict[str, float]] = None,
+    source_waveforms: Optional[Dict[str, Callable[[float], float]]] = None,
+    newton_iterations: int = 40,
+    tolerance: float = 1e-7,
+) -> TransientResult:
+    """Integrate the circuit from 0 to ``stop_time`` with fixed steps.
+
+    Parameters
+    ----------
+    initial_conditions:
+        Node voltages at t=0; nodes not listed start from the DC solution of
+        the circuit with sources at their t=0 values.
+    source_waveforms:
+        Optional map from voltage-source name to a callable ``v(t)``; sources
+        not listed keep their DC value.
+    """
+    if stop_time <= 0 or time_step <= 0:
+        raise ValueError("stop_time and time_step must be positive")
+    source_waveforms = source_waveforms or {}
+
+    # Apply t=0 source values before computing the starting point.
+    for source in circuit.voltage_sources():
+        if source.name in source_waveforms:
+            source.voltage = float(source_waveforms[source.name](0.0))
+
+    if initial_conditions is None:
+        start = solve_dc(circuit, corner)
+        node_state = dict(start.voltages)
+    else:
+        node_state = {name: 0.0 for name in circuit.node_names()}
+        node_state.update(initial_conditions)
+
+    stamper = MNAStamper(circuit, corner)
+    node_names = circuit.node_names()
+    num_nodes = len(node_names)
+    steps = int(np.ceil(stop_time / time_step))
+    times = np.linspace(0.0, steps * time_step, steps + 1)
+
+    waveforms = {name: np.zeros(steps + 1) for name in node_names}
+    for name in node_names:
+        waveforms[name][0] = node_state.get(name, 0.0)
+
+    voltages = np.array([node_state.get(name, 0.0) for name in node_names])
+    conductance_scale = 1.0 / time_step
+
+    for step in range(1, steps + 1):
+        time_now = times[step]
+        for source in circuit.voltage_sources():
+            if source.name in source_waveforms:
+                source.voltage = float(source_waveforms[source.name](time_now))
+
+        history: Dict[str, float] = {}
+        for capacitor in circuit.capacitors():
+            v_prev = _voltage_across(voltages, stamper, capacitor)
+            history[capacitor.name] = (
+                conductance_scale * capacitor.capacitance * v_prev
+            )
+
+        iterate = voltages.copy()
+        for _ in range(newton_iterations):
+            system = stamper.assemble(
+                voltages=iterate,
+                capacitor_conductance=conductance_scale,
+                capacitor_history=history,
+            )
+            try:
+                solution = np.linalg.solve(system.matrix, system.rhs)
+            except np.linalg.LinAlgError as error:
+                raise ConvergenceError(
+                    f"singular matrix during transient of {circuit.name!r}"
+                ) from error
+            new_iterate = solution[:num_nodes]
+            if np.max(np.abs(new_iterate - iterate)) < tolerance:
+                iterate = new_iterate
+                break
+            iterate = new_iterate
+        voltages = iterate
+        for name in node_names:
+            waveforms[name][step] = voltages[stamper.node_index[name]]
+
+    return TransientResult(times, waveforms)
+
+
+def _voltage_across(
+    voltages: np.ndarray, stamper: MNAStamper, capacitor: Capacitor
+) -> float:
+    def node_voltage(node: str) -> float:
+        if node == GROUND:
+            return 0.0
+        return float(voltages[stamper.node_index[node]])
+
+    return node_voltage(capacitor.node_a) - node_voltage(capacitor.node_b)

@@ -1,0 +1,44 @@
+"""PVT corner and random-mismatch modelling substrate.
+
+This subpackage implements the variation model of Section II.A and Eq. (3)
+of the paper:
+
+* :mod:`repro.variation.corners` enumerates process/voltage/temperature
+  corners (``{TT, SS, FF, SF, FS} x {0.8 V, 0.9 V} x {-40, 27, 80} degC``).
+* :mod:`repro.variation.distributions` builds the diagonal covariance
+  matrices ``Sigma_Global(x)`` and ``Sigma_Local(x)`` from Pelgrom-law
+  mismatch coefficients, so local variance depends on the sizing vector.
+* :mod:`repro.variation.mismatch` draws hierarchical global/local mismatch
+  samples (die-to-die mean shift plus within-die spread).
+"""
+
+from repro.variation.corners import (
+    ProcessCorner,
+    PVTCorner,
+    CornerSet,
+    full_corner_set,
+    vt_corner_set,
+    typical_corner,
+)
+from repro.variation.distributions import (
+    DeviceSpec,
+    DeviceKind,
+    MismatchModel,
+    PelgromCoefficients,
+)
+from repro.variation.mismatch import MismatchSampler, MismatchSet
+
+__all__ = [
+    "ProcessCorner",
+    "PVTCorner",
+    "CornerSet",
+    "full_corner_set",
+    "vt_corner_set",
+    "typical_corner",
+    "DeviceSpec",
+    "DeviceKind",
+    "MismatchModel",
+    "PelgromCoefficients",
+    "MismatchSampler",
+    "MismatchSet",
+]

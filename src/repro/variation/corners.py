@@ -1,0 +1,207 @@
+"""Process/voltage/temperature (PVT) corner definitions.
+
+The paper evaluates every design under 30 PVT conditions::
+
+    {TT, SS, FF, SF, FS} x {0.8 V, 0.9 V} x {-40 degC, 27 degC, 80 degC}
+
+and, for the global-local Monte Carlo configuration (``C-MCG-L``), under the
+6 VT corners obtained by fixing the process corner to typical and letting the
+global process variation be sampled statistically instead (Table I).
+
+Each :class:`ProcessCorner` carries first-order device-parameter shifts
+(threshold voltage and carrier-mobility multipliers for NMOS and PMOS) that
+the circuit models in :mod:`repro.circuits` consume.  The shifts are the
+usual slow/fast conventions: ``SS`` raises thresholds and lowers mobility for
+both device types, ``FF`` does the opposite, and the skew corners ``SF`` /
+``FS`` move NMOS and PMOS in opposite directions.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+
+class ProcessCorner(enum.Enum):
+    """Global process corner labels used in corner simulation."""
+
+    TT = "TT"
+    SS = "SS"
+    FF = "FF"
+    SF = "SF"
+    FS = "FS"
+
+    @property
+    def nmos_vth_shift(self) -> float:
+        """Threshold-voltage shift (in volts) applied to every NMOS device."""
+        return _CORNER_SHIFTS[self][0]
+
+    @property
+    def pmos_vth_shift(self) -> float:
+        """Threshold-voltage shift (in volts) applied to every PMOS device."""
+        return _CORNER_SHIFTS[self][1]
+
+    @property
+    def nmos_mobility_scale(self) -> float:
+        """Multiplicative mobility factor for NMOS devices at this corner."""
+        return _CORNER_SHIFTS[self][2]
+
+    @property
+    def pmos_mobility_scale(self) -> float:
+        """Multiplicative mobility factor for PMOS devices at this corner."""
+        return _CORNER_SHIFTS[self][3]
+
+    @property
+    def is_typical(self) -> bool:
+        return self is ProcessCorner.TT
+
+
+# (nmos_vth_shift [V], pmos_vth_shift [V], nmos_mobility, pmos_mobility)
+# Slow devices: higher |Vth|, lower mobility.  Fast devices: the opposite.
+# Magnitudes follow typical +/-3 sigma global spread for a 28 nm PDK.
+_CORNER_SHIFTS = {
+    ProcessCorner.TT: (0.000, 0.000, 1.00, 1.00),
+    ProcessCorner.SS: (+0.045, +0.045, 0.88, 0.88),
+    ProcessCorner.FF: (-0.045, -0.045, 1.12, 1.12),
+    ProcessCorner.SF: (+0.045, -0.045, 0.88, 1.12),
+    ProcessCorner.FS: (-0.045, +0.045, 1.12, 0.88),
+}
+
+#: Supply voltages evaluated by the paper (volts).
+DEFAULT_SUPPLIES: Tuple[float, ...] = (0.8, 0.9)
+
+#: Temperatures evaluated by the paper (degrees Celsius).
+DEFAULT_TEMPERATURES: Tuple[float, ...] = (-40.0, 27.0, 80.0)
+
+#: Nominal conditions used for the "typical" simulation.
+NOMINAL_SUPPLY = 0.9
+NOMINAL_TEMPERATURE = 27.0
+
+
+@dataclass(frozen=True)
+class PVTCorner:
+    """A single process/voltage/temperature condition.
+
+    Attributes
+    ----------
+    process:
+        Global process corner (die-to-die systematic skew).
+    vdd:
+        Supply voltage in volts.
+    temperature:
+        Junction temperature in degrees Celsius.
+    """
+
+    process: ProcessCorner
+    vdd: float
+    temperature: float
+
+    @property
+    def name(self) -> str:
+        return f"{self.process.value}_{self.vdd:.1f}V_{self.temperature:+.0f}C"
+
+    @property
+    def temperature_kelvin(self) -> float:
+        return self.temperature + 273.15
+
+    @property
+    def is_typical(self) -> bool:
+        return (
+            self.process.is_typical
+            and abs(self.vdd - NOMINAL_SUPPLY) < 1e-12
+            and abs(self.temperature - NOMINAL_TEMPERATURE) < 1e-12
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.name
+
+
+class CornerSet:
+    """An ordered, immutable collection of :class:`PVTCorner` objects."""
+
+    def __init__(self, corners: Iterable[PVTCorner]):
+        self._corners: Tuple[PVTCorner, ...] = tuple(corners)
+        if not self._corners:
+            raise ValueError("a CornerSet must contain at least one corner")
+        names = [c.name for c in self._corners]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate corners in CornerSet")
+
+    def __len__(self) -> int:
+        return len(self._corners)
+
+    def __iter__(self) -> Iterator[PVTCorner]:
+        return iter(self._corners)
+
+    def __getitem__(self, index: int) -> PVTCorner:
+        return self._corners[index]
+
+    def __contains__(self, corner: PVTCorner) -> bool:
+        return corner in self._corners
+
+    @property
+    def corners(self) -> Tuple[PVTCorner, ...]:
+        return self._corners
+
+    @property
+    def names(self) -> List[str]:
+        return [c.name for c in self._corners]
+
+    def index(self, corner: PVTCorner) -> int:
+        return self._corners.index(corner)
+
+    def sorted_by(self, keys: Sequence[float], descending: bool = True) -> "CornerSet":
+        """Return a new :class:`CornerSet` reordered by ``keys``.
+
+        ``keys`` must provide one value per corner; corners are sorted by key
+        (descending by default), which is how the verification phase orders
+        corners by severity.
+        """
+        if len(keys) != len(self._corners):
+            raise ValueError(
+                f"expected {len(self._corners)} keys, got {len(keys)}"
+            )
+        order = sorted(
+            range(len(self._corners)),
+            key=lambda i: keys[i],
+            reverse=descending,
+        )
+        return CornerSet(self._corners[i] for i in order)
+
+
+def full_corner_set(
+    supplies: Sequence[float] = DEFAULT_SUPPLIES,
+    temperatures: Sequence[float] = DEFAULT_TEMPERATURES,
+) -> CornerSet:
+    """The 30 PVT corners used by the ``C`` and ``C-MCL`` configurations."""
+    corners = [
+        PVTCorner(process, vdd, temp)
+        for process, vdd, temp in itertools.product(
+            ProcessCorner, supplies, temperatures
+        )
+    ]
+    return CornerSet(corners)
+
+
+def vt_corner_set(
+    supplies: Sequence[float] = DEFAULT_SUPPLIES,
+    temperatures: Sequence[float] = DEFAULT_TEMPERATURES,
+) -> CornerSet:
+    """The 6 VT corners used by ``C-MCG-L``.
+
+    Global process variation is sampled statistically in this configuration,
+    so the process corner is pinned to typical and only voltage and
+    temperature are swept (Table I: "Predefined Corner t - P: N").
+    """
+    corners = [
+        PVTCorner(ProcessCorner.TT, vdd, temp)
+        for vdd, temp in itertools.product(supplies, temperatures)
+    ]
+    return CornerSet(corners)
+
+
+def typical_corner() -> PVTCorner:
+    """The nominal TT / 0.9 V / 27 degC condition used for initial sampling."""
+    return PVTCorner(ProcessCorner.TT, NOMINAL_SUPPLY, NOMINAL_TEMPERATURE)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import DramCoreSenseAmp, FloatingInverterAmplifier, StrongArmLatch
+from repro.core.spec import DesignSpec
+from repro.variation.corners import typical_corner
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def strongarm():
+    return StrongArmLatch()
+
+
+@pytest.fixture
+def fia():
+    return FloatingInverterAmplifier()
+
+
+@pytest.fixture
+def dram():
+    return DramCoreSenseAmp()
+
+
+@pytest.fixture
+def strongarm_spec(strongarm):
+    return DesignSpec.from_circuit(strongarm)
+
+
+@pytest.fixture
+def typical():
+    return typical_corner()
+
+
+@pytest.fixture
+def feasible_strongarm_design(strongarm, strongarm_spec, rng):
+    """A normalised StrongARM design that meets its targets at typical."""
+    from repro.core.reward import reward_from_metrics
+
+    for _ in range(5000):
+        x = strongarm.random_sizing(rng)
+        metrics = strongarm.evaluate(x, typical_corner())
+        if reward_from_metrics(strongarm_spec, metrics) >= 0.2:
+            return x
+    raise RuntimeError("could not find a feasible StrongARM design for tests")

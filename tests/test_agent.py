@@ -1,0 +1,97 @@
+"""Tests for the risk-sensitive RL agent (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import RiskSensitiveAgent
+from repro.core.config import GlovaConfig
+from repro.core.reward import FEASIBLE_REWARD
+
+
+@pytest.fixture
+def config():
+    return GlovaConfig(seed=0, gradient_steps_per_iteration=10, hidden_size=32)
+
+
+@pytest.fixture
+def agent(config, rng):
+    return RiskSensitiveAgent(design_dimension=5, config=config, rng=rng)
+
+
+class TestAgentBasics:
+    def test_update_requires_data(self, agent):
+        with pytest.raises(RuntimeError):
+            agent.update()
+
+    def test_propose_stays_in_unit_box(self, agent, rng):
+        design = rng.uniform(size=5)
+        proposal = agent.propose(design)
+        assert proposal.shape == (5,)
+        assert np.all(proposal >= 0.0) and np.all(proposal <= 1.0)
+
+    def test_exploration_noise_decays_to_floor(self, agent, rng):
+        design = rng.uniform(size=5)
+        for _ in range(3000):
+            agent.propose(design)
+        assert agent.exploration_noise == pytest.approx(agent.NOISE_FLOOR)
+
+    def test_observe_fills_buffer(self, agent, rng):
+        agent.observe(rng.uniform(size=5), 0.1)
+        assert len(agent.buffer) == 1
+
+    def test_ensemble_size_follows_config(self, rng):
+        full = RiskSensitiveAgent(4, GlovaConfig(seed=0), rng)
+        ablated = RiskSensitiveAgent(
+            4, GlovaConfig(seed=0, use_ensemble_critic=False), rng
+        )
+        assert full.critic.ensemble_size == GlovaConfig().ensemble_size
+        assert ablated.critic.ensemble_size == 1
+        assert ablated.critic.beta1 == 0.0
+
+    def test_best_buffered_design(self, agent, rng):
+        good = rng.uniform(size=5)
+        agent.observe(rng.uniform(size=5), -0.5)
+        agent.observe(good, 0.2)
+        assert np.allclose(agent.best_buffered_design(), good)
+
+
+class TestAgentLearning:
+    def test_update_returns_finite_losses(self, agent, rng):
+        for _ in range(30):
+            agent.observe(rng.uniform(size=5), rng.uniform(-1.0, 0.2))
+        summary = agent.update()
+        assert np.isfinite(summary.critic_loss)
+        assert np.isfinite(summary.actor_loss)
+        assert summary.gradient_steps == 10
+
+    def test_critic_learns_reward_gradient(self, rng):
+        """On a landscape where reward grows with x, the bound must too."""
+        config = GlovaConfig(seed=1, gradient_steps_per_iteration=40, hidden_size=32)
+        agent = RiskSensitiveAgent(3, config, np.random.default_rng(1))
+        for _ in range(200):
+            design = agent.rng.uniform(size=3)
+            reward = min(FEASIBLE_REWARD, float(design.mean()) - 0.6)
+            agent.observe(design, reward)
+        for _ in range(10):
+            agent.update()
+        low = agent.predicted_bound(np.full(3, 0.1))
+        high = agent.predicted_bound(np.full(3, 0.9))
+        assert high > low
+
+    def test_policy_moves_towards_feasible_region(self, rng):
+        """After training, the actor should propose designs with a higher
+        predicted bound than an arbitrary starting point."""
+        config = GlovaConfig(
+            seed=2, gradient_steps_per_iteration=40, hidden_size=32, exploration_noise=0.0
+        )
+        agent = RiskSensitiveAgent(3, config, np.random.default_rng(2))
+        for _ in range(200):
+            design = agent.rng.uniform(size=3)
+            reward = min(FEASIBLE_REWARD, float(design.mean()) - 0.6)
+            agent.observe(design, reward)
+        start = np.full(3, 0.3)
+        agent.actor.pretrain_towards(np.tile(start, (8, 1)), start, steps=200)
+        for _ in range(15):
+            agent.update()
+        proposal = agent.actor.act(start)
+        assert agent.predicted_bound(proposal) >= agent.predicted_bound(start) - 0.05

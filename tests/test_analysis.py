@@ -1,0 +1,155 @@
+"""Tests for result aggregation and table formatting (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ExperimentRunner,
+    ExperimentSettings,
+    MethodSummary,
+    aggregate_results,
+    format_ablation_table,
+    format_comparison_table,
+    normalize_runtimes,
+)
+from repro.analysis.metrics import sample_efficiency_gain
+from repro.core.config import VerificationMethod
+from repro.core.result import OptimizationResult
+
+
+def make_result(success=True, iterations=10, sims=100, runtime=30.0):
+    return OptimizationResult(
+        success=success,
+        iterations=iterations,
+        simulations={
+            "initial_sampling": sims // 4,
+            "optimization": sims // 4,
+            "verification": sims // 2,
+            "total": sims,
+        },
+        runtime=runtime,
+        method="C",
+        circuit="strongarm_latch",
+    )
+
+
+class TestAggregation:
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_results("glova", "C", [])
+
+    def test_success_rate(self):
+        results = [make_result(True), make_result(False), make_result(True)]
+        summary = aggregate_results("glova", "C", results)
+        assert summary.success_rate == pytest.approx(2 / 3)
+        assert summary.runs == 3
+        assert summary.successes == 2
+
+    def test_averages_use_successful_runs_only(self):
+        results = [
+            make_result(True, iterations=10, sims=100),
+            make_result(False, iterations=500, sims=9000),
+        ]
+        summary = aggregate_results("glova", "C", results)
+        assert summary.mean_iterations == pytest.approx(10)
+        assert summary.mean_simulations == pytest.approx(100)
+
+    def test_all_failed_falls_back_to_every_run(self):
+        results = [make_result(False, iterations=50), make_result(False, iterations=70)]
+        summary = aggregate_results("glova", "C", results)
+        assert summary.mean_iterations == pytest.approx(60)
+        assert summary.success_rate == 0.0
+
+    def test_normalize_runtimes_reference_is_one(self):
+        summaries = [
+            aggregate_results("glova", "C", [make_result(runtime=10.0)]),
+            aggregate_results("pvtsizing", "C", [make_result(runtime=35.0)]),
+        ]
+        normalized = normalize_runtimes(summaries, reference_method="glova")
+        by_method = {s.method: s for s in normalized}
+        assert by_method["glova"].normalized_runtime == pytest.approx(1.0)
+        assert by_method["pvtsizing"].normalized_runtime == pytest.approx(3.5)
+
+    def test_sample_efficiency_gain(self):
+        summaries = [
+            aggregate_results("glova", "C", [make_result(sims=100)]),
+            aggregate_results("pvtsizing", "C", [make_result(sims=800)]),
+        ]
+        gains = sample_efficiency_gain(summaries, reference_method="glova")
+        assert gains["pvtsizing"] == pytest.approx(8.0)
+
+    def test_as_row_keys(self):
+        summary = aggregate_results("glova", "C", [make_result()])
+        row = summary.as_row()
+        assert set(row) == {
+            "method",
+            "rl_iterations",
+            "simulations",
+            "normalized_runtime",
+            "success_rate",
+        }
+
+
+class TestTableFormatting:
+    def _summaries(self):
+        summaries = [
+            aggregate_results("glova", "C", [make_result(runtime=10.0)]),
+            aggregate_results("pvtsizing", "C", [make_result(runtime=30.0)]),
+        ]
+        return {"C": normalize_runtimes(summaries)}
+
+    def test_comparison_table_contains_all_rows(self):
+        text = format_comparison_table(self._summaries(), title="Table II (SAL)")
+        assert "Table II (SAL)" in text
+        assert "RL Iteration" in text
+        assert "# Simulation" in text
+        assert "Norm. Runtime" in text
+        assert "Success Rate" in text
+        assert "glova" in text
+        assert "pvtsizing" in text
+
+    def test_missing_scenario_rendered_as_dash(self):
+        summaries = self._summaries()
+        summaries["C-MCL"] = [
+            aggregate_results("glova", "C-MCL", [make_result(runtime=10.0)])
+        ]
+        text = format_comparison_table(summaries)
+        assert "-" in text
+
+    def test_ablation_table_uses_same_layout(self):
+        text = format_ablation_table(self._summaries(), title="Table III")
+        assert "Table III" in text
+
+
+class TestExperimentRunner:
+    def test_settings_build_config(self):
+        settings = ExperimentSettings(
+            circuit_name="sal",
+            verification=VerificationMethod.CORNER,
+            seeds=(0,),
+            max_iterations=5,
+            initial_samples=10,
+        )
+        config = settings.build_config(seed=0)
+        assert config.max_iterations == 5
+        assert config.verification is VerificationMethod.CORNER
+
+    def test_unknown_method_rejected(self):
+        settings = ExperimentSettings(
+            circuit_name="sal", verification=VerificationMethod.CORNER, seeds=(0,)
+        )
+        runner = ExperimentRunner(settings)
+        with pytest.raises(KeyError):
+            runner.run_method("simulated_annealing")
+
+    def test_run_glova_single_seed(self):
+        settings = ExperimentSettings(
+            circuit_name="sal",
+            verification=VerificationMethod.CORNER,
+            seeds=(0,),
+            max_iterations=40,
+            initial_samples=30,
+        )
+        runner = ExperimentRunner(settings)
+        result = runner.run_glova(seed=0)
+        assert result.circuit == "strongarm_latch"

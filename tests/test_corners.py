@@ -1,0 +1,101 @@
+"""Tests for PVT corner enumeration (repro.variation.corners)."""
+
+import itertools
+
+import pytest
+
+from repro.variation.corners import (
+    CornerSet,
+    ProcessCorner,
+    PVTCorner,
+    full_corner_set,
+    typical_corner,
+    vt_corner_set,
+)
+
+
+class TestProcessCorner:
+    def test_five_corners_exist(self):
+        assert {c.value for c in ProcessCorner} == {"TT", "SS", "FF", "SF", "FS"}
+
+    def test_typical_flag(self):
+        assert ProcessCorner.TT.is_typical
+        assert not ProcessCorner.SS.is_typical
+
+    def test_slow_corner_raises_thresholds(self):
+        assert ProcessCorner.SS.nmos_vth_shift > 0
+        assert ProcessCorner.SS.pmos_vth_shift > 0
+        assert ProcessCorner.SS.nmos_mobility_scale < 1.0
+
+    def test_fast_corner_lowers_thresholds(self):
+        assert ProcessCorner.FF.nmos_vth_shift < 0
+        assert ProcessCorner.FF.pmos_mobility_scale > 1.0
+
+    def test_skew_corners_move_polarities_oppositely(self):
+        assert ProcessCorner.SF.nmos_vth_shift > 0 > ProcessCorner.SF.pmos_vth_shift
+        assert ProcessCorner.FS.nmos_vth_shift < 0 < ProcessCorner.FS.pmos_vth_shift
+
+    def test_tt_is_centred(self):
+        assert ProcessCorner.TT.nmos_vth_shift == 0.0
+        assert ProcessCorner.TT.nmos_mobility_scale == 1.0
+
+
+class TestPVTCorner:
+    def test_name_is_unique_per_condition(self):
+        names = {c.name for c in full_corner_set()}
+        assert len(names) == 30
+
+    def test_temperature_kelvin(self):
+        corner = PVTCorner(ProcessCorner.TT, 0.9, 27.0)
+        assert corner.temperature_kelvin == pytest.approx(300.15)
+
+    def test_typical_corner_is_typical(self):
+        assert typical_corner().is_typical
+
+    def test_non_typical_conditions(self):
+        assert not PVTCorner(ProcessCorner.TT, 0.8, 27.0).is_typical
+        assert not PVTCorner(ProcessCorner.SS, 0.9, 27.0).is_typical
+        assert not PVTCorner(ProcessCorner.TT, 0.9, 80.0).is_typical
+
+
+class TestCornerSets:
+    def test_full_corner_set_has_30_conditions(self):
+        corners = full_corner_set()
+        assert len(corners) == 30
+        processes = {c.process for c in corners}
+        supplies = {c.vdd for c in corners}
+        temperatures = {c.temperature for c in corners}
+        assert len(processes) == 5
+        assert supplies == {0.8, 0.9}
+        assert temperatures == {-40.0, 27.0, 80.0}
+
+    def test_vt_corner_set_has_6_typical_process_conditions(self):
+        corners = vt_corner_set()
+        assert len(corners) == 6
+        assert all(c.process is ProcessCorner.TT for c in corners)
+
+    def test_empty_corner_set_rejected(self):
+        with pytest.raises(ValueError):
+            CornerSet([])
+
+    def test_duplicate_corners_rejected(self):
+        corner = typical_corner()
+        with pytest.raises(ValueError):
+            CornerSet([corner, corner])
+
+    def test_indexing_and_membership(self):
+        corners = full_corner_set()
+        assert corners[0] in corners
+        assert corners.index(corners[3]) == 3
+
+    def test_sorted_by_reorders_descending(self):
+        corners = vt_corner_set()
+        keys = list(range(len(corners)))
+        reordered = corners.sorted_by(keys, descending=True)
+        assert reordered[0] == corners[-1]
+        assert reordered[-1] == corners[0]
+
+    def test_sorted_by_requires_matching_length(self):
+        corners = vt_corner_set()
+        with pytest.raises(ValueError):
+            corners.sorted_by([1.0, 2.0])

@@ -1,0 +1,122 @@
+"""Tests for the MOSFET compact model (repro.spice.mosfet)."""
+
+import numpy as np
+import pytest
+
+from repro.spice.mosfet import MosfetModel, nmos_28nm, pmos_28nm
+from repro.variation.corners import ProcessCorner, PVTCorner
+
+
+@pytest.fixture
+def nmos():
+    return MosfetModel(1e-6, 100e-9, nmos_28nm())
+
+
+@pytest.fixture
+def pmos():
+    return MosfetModel(1e-6, 100e-9, pmos_28nm())
+
+
+class TestGeometryValidation:
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            MosfetModel(1e-9, 100e-9)
+
+    def test_rejects_tiny_length(self):
+        with pytest.raises(ValueError):
+            MosfetModel(1e-6, 1e-9)
+
+
+class TestDrainCurrent:
+    def test_off_device_conducts_little(self, nmos):
+        assert nmos.drain_current(vgs=0.0, vds=0.9) < 1e-7
+
+    def test_current_increases_with_vgs(self, nmos):
+        currents = [nmos.drain_current(vgs, 0.9) for vgs in (0.4, 0.6, 0.8)]
+        assert currents[0] < currents[1] < currents[2]
+
+    def test_current_scales_with_width(self):
+        narrow = MosfetModel(1e-6, 100e-9, nmos_28nm())
+        wide = MosfetModel(4e-6, 100e-9, nmos_28nm())
+        ratio = wide.drain_current(0.7, 0.9) / narrow.drain_current(0.7, 0.9)
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_current_decreases_with_length(self):
+        short = MosfetModel(1e-6, 30e-9, nmos_28nm())
+        long = MosfetModel(1e-6, 300e-9, nmos_28nm())
+        assert short.drain_current(0.7, 0.9) > long.drain_current(0.7, 0.9)
+
+    def test_negative_vds_clamped(self, nmos):
+        assert nmos.drain_current(0.7, -0.1) >= 0.0
+
+    def test_triode_current_below_saturation(self, nmos):
+        assert nmos.drain_current(0.7, 0.02) < nmos.drain_current(0.7, 0.9)
+
+    def test_pmos_weaker_than_nmos_at_same_size(self, nmos, pmos):
+        assert pmos.drain_current(0.7, 0.9) < nmos.drain_current(0.7, 0.9)
+
+
+class TestEnvironment:
+    def test_ss_corner_reduces_current(self, nmos):
+        nominal = PVTCorner(ProcessCorner.TT, 0.9, 27.0)
+        slow = PVTCorner(ProcessCorner.SS, 0.9, 27.0)
+        assert nmos.drain_current(0.6, 0.9, corner=slow) < nmos.drain_current(
+            0.6, 0.9, corner=nominal
+        )
+
+    def test_ff_corner_increases_current(self, nmos):
+        nominal = PVTCorner(ProcessCorner.TT, 0.9, 27.0)
+        fast = PVTCorner(ProcessCorner.FF, 0.9, 27.0)
+        assert nmos.drain_current(0.6, 0.9, corner=fast) > nmos.drain_current(
+            0.6, 0.9, corner=nominal
+        )
+
+    def test_high_temperature_reduces_strong_inversion_current(self, nmos):
+        cold = PVTCorner(ProcessCorner.TT, 0.9, -40.0)
+        hot = PVTCorner(ProcessCorner.TT, 0.9, 80.0)
+        assert nmos.drain_current(0.8, 0.9, corner=hot) < nmos.drain_current(
+            0.8, 0.9, corner=cold
+        )
+
+    def test_positive_vth_mismatch_reduces_current(self, nmos):
+        base = nmos.drain_current(0.6, 0.9)
+        shifted = nmos.drain_current(0.6, 0.9, vth_shift=0.05)
+        assert shifted < base
+
+    def test_beta_error_scales_current(self, nmos):
+        base = nmos.drain_current(0.7, 0.9)
+        boosted = nmos.drain_current(0.7, 0.9, beta_error=0.10)
+        assert boosted == pytest.approx(base * 1.10, rel=0.01)
+
+
+class TestOperatingPoint:
+    def test_region_classification(self, nmos):
+        assert nmos.operating_point(0.2, 0.9).region == "subthreshold"
+        assert nmos.operating_point(0.8, 0.9).region == "saturation"
+        assert nmos.operating_point(0.8, 0.01).region == "triode"
+
+    def test_gm_positive_in_saturation(self, nmos):
+        op = nmos.operating_point(0.7, 0.9)
+        assert op.gm > 0
+        assert op.gds > 0
+
+    def test_transconductance_matches_finite_difference(self, nmos):
+        delta = 1e-4
+        expected = (
+            nmos.drain_current(0.7 + delta, 0.9) - nmos.drain_current(0.7, 0.9)
+        ) / delta
+        assert nmos.transconductance(0.7, 0.9) == pytest.approx(expected, rel=0.05)
+
+
+class TestCapacitances:
+    def test_gate_capacitance_scales_with_area(self):
+        small = MosfetModel(1e-6, 30e-9, nmos_28nm())
+        large = MosfetModel(4e-6, 30e-9, nmos_28nm())
+        assert large.gate_capacitance() > small.gate_capacitance()
+
+    def test_drain_capacitance_positive(self, nmos):
+        assert nmos.drain_capacitance() > 0
+
+    def test_gate_capacitance_reasonable_magnitude(self, nmos):
+        # A 1 um x 0.1 um device should be in the low-femtofarad range.
+        assert 0.1e-15 < nmos.gate_capacitance() < 20e-15

@@ -1,0 +1,120 @@
+"""Tests for the replay buffers (repro.core.replay)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.replay import LastWorstCaseBuffer, WorstCaseReplayBuffer
+from repro.variation.corners import full_corner_set, vt_corner_set
+
+
+class TestWorstCaseReplayBuffer:
+    def test_add_and_len(self):
+        buffer = WorstCaseReplayBuffer(capacity=8)
+        buffer.add(np.zeros(3), 0.1)
+        assert len(buffer) == 1
+
+    def test_capacity_wraps_fifo(self):
+        buffer = WorstCaseReplayBuffer(capacity=3)
+        for index in range(5):
+            buffer.add(np.full(2, index), float(index))
+        assert len(buffer) == 3
+        assert set(buffer.all_rewards()) == {2.0, 3.0, 4.0}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            WorstCaseReplayBuffer(capacity=0)
+
+    def test_sample_shapes(self, rng):
+        buffer = WorstCaseReplayBuffer()
+        for index in range(20):
+            buffer.add(np.full(4, index), float(index))
+        designs, rewards = buffer.sample(8, rng)
+        assert designs.shape == (8, 4)
+        assert rewards.shape == (8,)
+
+    def test_sample_with_replacement_when_small(self, rng):
+        buffer = WorstCaseReplayBuffer()
+        buffer.add(np.zeros(2), 0.0)
+        designs, rewards = buffer.sample(10, rng)
+        assert designs.shape == (10, 2)
+
+    def test_sample_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            WorstCaseReplayBuffer().sample(4, rng)
+
+    def test_best_returns_highest_reward(self):
+        buffer = WorstCaseReplayBuffer()
+        buffer.add(np.zeros(2), -0.5)
+        buffer.add(np.ones(2), 0.2)
+        buffer.add(np.full(2, 2.0), -0.1)
+        best = buffer.best()
+        assert best.reward == pytest.approx(0.2)
+        assert np.allclose(best.design, 1.0)
+
+    def test_best_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WorstCaseReplayBuffer().best()
+
+    def test_stored_designs_are_copies(self):
+        buffer = WorstCaseReplayBuffer()
+        design = np.zeros(2)
+        buffer.add(design, 0.0)
+        design[:] = 99.0
+        assert np.allclose(buffer.all_designs()[0], 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rewards=st.lists(
+            st.floats(min_value=-5, max_value=0.2, allow_nan=False), min_size=1, max_size=50
+        )
+    )
+    def test_best_is_maximum_property(self, rewards):
+        buffer = WorstCaseReplayBuffer(capacity=100)
+        for index, reward in enumerate(rewards):
+            buffer.add(np.full(2, index), reward)
+        assert buffer.best().reward == pytest.approx(max(rewards))
+
+
+class TestLastWorstCaseBuffer:
+    def test_unvisited_corners_are_worst(self):
+        corners = vt_corner_set()
+        buffer = LastWorstCaseBuffer(corners)
+        buffer.update(corners[1], 0.2)
+        worst = buffer.worst_corner()
+        assert worst != corners[1]
+
+    def test_worst_corner_is_minimum_reward(self):
+        corners = vt_corner_set()
+        buffer = LastWorstCaseBuffer(corners)
+        for index, corner in enumerate(corners):
+            buffer.update(corner, float(index))
+        assert buffer.worst_corner() == corners[0]
+
+    def test_update_unknown_corner_rejected(self):
+        buffer = LastWorstCaseBuffer(vt_corner_set())
+        # An SS-process corner is never part of the VT (typical-process) set.
+        stranger = next(
+            c for c in full_corner_set() if not c.process.is_typical
+        )
+        with pytest.raises(KeyError):
+            buffer.update(stranger, 0.0)
+
+    def test_sorted_corners_worst_first(self):
+        corners = vt_corner_set()
+        buffer = LastWorstCaseBuffer(corners)
+        rewards = [0.2, -0.4, 0.1, -0.1, 0.0, 0.15]
+        for corner, reward in zip(corners, rewards):
+            buffer.update(corner, reward)
+        ordered = buffer.sorted_corners()
+        ordered_rewards = [buffer.reward_of(c) for c in ordered]
+        assert ordered_rewards == sorted(rewards)
+
+    def test_as_dict_snapshot(self):
+        corners = vt_corner_set()
+        buffer = LastWorstCaseBuffer(corners)
+        buffer.update(corners[0], -0.3)
+        snapshot = buffer.as_dict()
+        assert snapshot[corners[0].name] == pytest.approx(-0.3)
+        assert snapshot[corners[1].name] is None

@@ -1,0 +1,112 @@
+"""Tests for transient analysis and noise helpers (repro.spice)."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    GROUND,
+    Resistor,
+    VoltageSource,
+    ktc_noise,
+    mosfet_thermal_noise_current,
+    solve_transient,
+    thermal_noise_voltage,
+)
+
+
+def rc_circuit(resistance=1e3, capacitance=1e-9):
+    circuit = Circuit("rc")
+    circuit.add(VoltageSource("VIN", "in", GROUND, 1.0))
+    circuit.add(Resistor("R1", "in", "out", resistance))
+    circuit.add(Capacitor("C1", "out", GROUND, capacitance))
+    return circuit
+
+
+class TestTransient:
+    def test_rc_step_response_reaches_supply(self):
+        circuit = rc_circuit()
+        result = solve_transient(
+            circuit,
+            stop_time=10e-6,
+            time_step=20e-9,
+            initial_conditions={"out": 0.0, "in": 1.0},
+        )
+        assert result.final_voltage("out") == pytest.approx(1.0, abs=0.01)
+
+    def test_rc_time_constant(self):
+        circuit = rc_circuit(resistance=1e3, capacitance=1e-9)  # tau = 1 us
+        result = solve_transient(
+            circuit,
+            stop_time=5e-6,
+            time_step=5e-9,
+            initial_conditions={"out": 0.0, "in": 1.0},
+        )
+        crossing = result.crossing_time("out", 1.0 - np.exp(-1.0))
+        assert crossing == pytest.approx(1e-6, rel=0.05)
+
+    def test_crossing_time_none_when_never_crossed(self):
+        circuit = rc_circuit()
+        result = solve_transient(
+            circuit,
+            stop_time=1e-7,
+            time_step=1e-9,
+            initial_conditions={"out": 0.0, "in": 1.0},
+        )
+        assert result.crossing_time("out", 0.99) is None
+
+    def test_source_waveform_drives_output(self):
+        circuit = rc_circuit(resistance=1e2, capacitance=1e-12)  # very fast RC
+        result = solve_transient(
+            circuit,
+            stop_time=1e-6,
+            time_step=1e-9,
+            initial_conditions={"out": 0.0, "in": 0.0},
+            source_waveforms={"VIN": lambda t: 0.0 if t < 0.5e-6 else 1.0},
+        )
+        midpoint = result.voltage("out")[len(result.times) // 4]
+        assert midpoint == pytest.approx(0.0, abs=0.01)
+        assert result.final_voltage("out") == pytest.approx(1.0, abs=0.02)
+
+    def test_ground_voltage_is_zero(self):
+        circuit = rc_circuit()
+        result = solve_transient(circuit, stop_time=1e-7, time_step=1e-9)
+        assert np.allclose(result.voltage(GROUND), 0.0)
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ValueError):
+            solve_transient(rc_circuit(), stop_time=0.0, time_step=1e-9)
+
+
+class TestNoiseHelpers:
+    def test_ktc_noise_room_temperature(self):
+        # sqrt(kT/C) at 300 K for 1 pF is about 64 uV.
+        assert ktc_noise(1e-12, 300.0) == pytest.approx(64e-6, rel=0.05)
+
+    def test_ktc_noise_decreases_with_capacitance(self):
+        assert ktc_noise(10e-15) > ktc_noise(1e-12)
+
+    def test_ktc_requires_positive_capacitance(self):
+        with pytest.raises(ValueError):
+            ktc_noise(0.0)
+
+    def test_mosfet_noise_current_scales_with_gm(self):
+        assert mosfet_thermal_noise_current(2e-3) == pytest.approx(
+            2 * mosfet_thermal_noise_current(1e-3)
+        )
+
+    def test_mosfet_noise_rejects_negative_gm(self):
+        with pytest.raises(ValueError):
+            mosfet_thermal_noise_current(-1e-3)
+
+    def test_thermal_noise_voltage_decreases_with_gain(self):
+        low_gain = thermal_noise_voltage(1e-3, 50e-15, gain=1.0)
+        high_gain = thermal_noise_voltage(1e-3, 50e-15, gain=10.0)
+        assert high_gain == pytest.approx(low_gain / 10.0)
+
+    def test_thermal_noise_voltage_validation(self):
+        with pytest.raises(ValueError):
+            thermal_noise_voltage(1e-3, -1e-15)
+        with pytest.raises(ValueError):
+            thermal_noise_voltage(1e-3, 1e-15, gain=0.0)
