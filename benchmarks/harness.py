@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import pathlib
 import re
 from typing import Dict, List, Sequence
@@ -55,6 +56,19 @@ def run_table2_block(
         runner = build_runner(circuit_name, SCENARIOS[scenario], scale)
         block[scenario] = runner.compare_methods(methods)
     return block
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable benchmark record under benchmarks/results/.
+
+    Perf benchmarks use this to track wall-clock trajectories across PRs
+    (e.g. ``BENCH_batched_engine.json``); the file is rewritten on every run
+    so the latest numbers are always a plain ``git diff`` away.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def print_table(block: Dict[str, List[MethodSummary]], title: str) -> str:

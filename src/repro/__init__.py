@@ -33,6 +33,29 @@ Subpackages
     PVTSizing- and RobustAnalog-style baselines used in Table II.
 ``repro.analysis``
     Experiment orchestration and table formatting for the paper's evaluation.
+
+Performance
+-----------
+The Monte-Carlo/corner hot path is **batched end to end**.  MNA assembly is
+split into a *static* linear stamp (resistors, capacitor companion
+patterns, sources, VCCS — built once per circuit/corner and cached) plus an
+*incremental* nonlinear MOSFET restamp evaluated through the ufunc-style
+device model (:meth:`repro.spice.MosfetModel.batch_operating_point`) over a
+leading batch axis; all B Newton systems are solved in one stacked
+``np.linalg.solve`` on ``(B, n, n)`` arrays with per-sample convergence
+masks (``repro.spice.solve_dc_batched`` / ``solve_transient_batched``).
+The behavioural testbenches expose the same shape through
+``AnalogCircuit.evaluate_batch``, which ``CircuitSimulator`` uses to run a
+whole N'-sample mismatch set or 30-corner sweep in a single vectorized
+pass (budget accounting still charges B simulations).
+
+Choosing scalar vs batched: the scalar entry points (``evaluate``,
+``solve_dc``, ``solve_transient``) remain the reference path for one-off
+conditions and debugging — they produce identical numbers, since scalar
+evaluation routes through the batch-of-one code.  Use the batched entry
+points whenever more than one mismatch sample or corner is evaluated for
+the same design; at the paper's N' = 16 this is a ~15x wall-clock win
+(see ``benchmarks/results/BENCH_batched_engine.json``).
 """
 
 from repro.version import __version__

@@ -20,7 +20,7 @@ from repro.circuits.base import AnalogCircuit
 from repro.core.config import GlovaConfig, OperationalConfig
 from repro.core.replay import LastWorstCaseBuffer
 from repro.core.result import OptimizationResult
-from repro.core.reward import FEASIBLE_REWARD, reward_from_metrics, rewards_and_worst
+from repro.core.reward import reward_from_metrics, rewards_from_matrix
 from repro.core.spec import DesignSpec
 from repro.core.verification import Verifier
 from repro.simulation.budget import SimulationBudget, SimulationPhase
@@ -92,10 +92,13 @@ class BaselineOptimizer(abc.ABC):
         records = self.simulator.simulate_mismatch_set(
             design, corner, mismatch_set, phase=phase
         )
-        metric_dicts = [record.metrics for record in records]
-        _, worst = rewards_and_worst(self.spec, metric_dicts)
+        rewards = rewards_from_matrix(
+            self.spec,
+            self.simulator.metrics_matrix(records, self.spec.metric_names),
+        )
+        worst = float(rewards.min())
         self.last_worst.update(corner, worst)
-        return worst, metric_dicts
+        return worst, [record.metrics for record in records]
 
     def evaluate_all_corners(
         self,

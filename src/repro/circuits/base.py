@@ -21,11 +21,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.variation.corners import PVTCorner, typical_corner
+from repro.variation.corners import CornerBatch, PVTCorner, typical_corner
 from repro.variation.distributions import DeviceSpec, MismatchModel
 
 
@@ -95,6 +95,14 @@ class AnalogCircuit(abc.ABC):
             raise ValueError("circuit declares no sizing parameters")
         if not self._constraints:
             raise ValueError("circuit declares no constraints")
+        if (
+            type(self)._evaluate_physical is AnalogCircuit._evaluate_physical
+            and not self.supports_batch
+        ):
+            raise TypeError(
+                f"{type(self).__name__} must implement _evaluate_physical or "
+                "_evaluate_physical_batch"
+            )
 
     # ------------------------------------------------------------------
     # Subclass contract
@@ -111,14 +119,51 @@ class AnalogCircuit(abc.ABC):
     def _build_devices(self) -> Sequence[DeviceSpec]:
         """Declare the mismatch-carrying devices."""
 
-    @abc.abstractmethod
     def _evaluate_physical(
         self,
         x_physical: np.ndarray,
         corner: PVTCorner,
         mismatch: Dict[str, Dict[str, float]],
     ) -> Dict[str, float]:
-        """Compute raw metric values for a physical sizing vector."""
+        """Compute raw metric values for a physical sizing vector.
+
+        Subclasses implement either this scalar hook or the vectorized
+        :meth:`_evaluate_physical_batch` (preferred: the scalar path then
+        becomes a batch of one, so both paths share a single implementation
+        and agree bit-for-bit).
+        """
+        if not self.supports_batch:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither _evaluate_physical "
+                "nor _evaluate_physical_batch"
+            )
+        batch_view = {
+            device: {
+                quantity: np.asarray([value], dtype=float)
+                for quantity, value in quantities.items()
+            }
+            for device, quantities in mismatch.items()
+        }
+        metrics = self._evaluate_physical_batch(x_physical, corner, batch_view)
+        return {
+            name: float(np.asarray(values, dtype=float).reshape(-1)[0])
+            for name, values in metrics.items()
+        }
+
+    def _evaluate_physical_batch(
+        self,
+        x_physical: np.ndarray,
+        corner: Union[PVTCorner, CornerBatch],
+        mismatch: Dict[str, Dict[str, np.ndarray]],
+    ) -> Dict[str, np.ndarray]:
+        """Vectorized twin of :meth:`_evaluate_physical`.
+
+        ``mismatch`` holds ``(B,)`` arrays per device quantity and ``corner``
+        may itself be array-valued (:class:`CornerBatch`); implementations
+        must be pure ufunc-style numpy so the whole Monte-Carlo/corner batch
+        is evaluated in one pass.
+        """
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Public API
@@ -221,6 +266,89 @@ class AnalogCircuit(abc.ABC):
                 f"circuit {self.name!r} did not report metrics: {sorted(missing)}"
             )
         return {name: float(metrics[name]) for name in self._constraints}
+
+    @property
+    def supports_batch(self) -> bool:
+        """True when the circuit provides a vectorized evaluation path."""
+        return (
+            type(self)._evaluate_physical_batch
+            is not AnalogCircuit._evaluate_physical_batch
+        )
+
+    def evaluate_batch(
+        self,
+        x_normalized: np.ndarray,
+        corner: Optional[Union[PVTCorner, CornerBatch]] = None,
+        mismatch: Optional[np.ndarray] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Evaluate ``F(x | t, h)`` for a whole batch in one pass.
+
+        Parameters
+        ----------
+        x_normalized:
+            One normalised sizing vector shared by every batch element.
+        corner:
+            A single :class:`PVTCorner` broadcast over the batch, or a
+            :class:`CornerBatch` supplying one condition per element.
+        mismatch:
+            ``(B, r)`` matrix of mismatch vectors (one row per element), or
+            ``None`` for nominal devices.  When both a corner batch and a
+            mismatch matrix are given their lengths must agree.
+
+        Returns ``{metric: (B,) array}``.  Circuits that implement
+        :meth:`_evaluate_physical_batch` evaluate the batch vectorized;
+        others fall back to a per-row scalar loop, so callers can adopt the
+        batched API before every circuit opts in.
+        """
+        corner = corner if corner is not None else typical_corner()
+        x_physical = self.denormalize(x_normalized)
+
+        corner_count = len(corner) if isinstance(corner, CornerBatch) else None
+        if mismatch is None:
+            batch = corner_count if corner_count is not None else 1
+            h_matrix = np.zeros((batch, self.mismatch_dimension))
+        else:
+            h_matrix = np.asarray(mismatch, dtype=float)
+            if h_matrix.ndim != 2 or h_matrix.shape[1] != self.mismatch_dimension:
+                raise ValueError(
+                    f"expected mismatch matrix of shape "
+                    f"(B, {self.mismatch_dimension}), got {h_matrix.shape}"
+                )
+            batch = h_matrix.shape[0]
+            if corner_count is not None and corner_count != batch:
+                raise ValueError(
+                    f"corner batch ({corner_count}) and mismatch batch "
+                    f"({batch}) lengths differ"
+                )
+
+        if self.supports_batch:
+            view = self._mismatch_model.as_batch_device_view(h_matrix)
+            raw = self._evaluate_physical_batch(x_physical, corner, view)
+            missing = set(self._constraints) - set(raw)
+            if missing:
+                raise RuntimeError(
+                    f"circuit {self.name!r} did not report metrics: "
+                    f"{sorted(missing)}"
+                )
+            return {
+                name: np.array(
+                    np.broadcast_to(np.asarray(raw[name], dtype=float), (batch,))
+                )
+                for name in self._constraints
+            }
+
+        # Loop fallback for circuits without a vectorized path.
+        corners = (
+            list(corner) if isinstance(corner, CornerBatch) else [corner] * batch
+        )
+        rows = [
+            self.evaluate(x_normalized, corners[index], h_matrix[index])
+            for index in range(batch)
+        ]
+        return {
+            name: np.array([row[name] for row in rows])
+            for name in self._constraints
+        }
 
     def is_feasible(self, metrics: Dict[str, float]) -> bool:
         """True when every metric meets its constraint bound."""

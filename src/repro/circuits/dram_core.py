@@ -135,12 +135,14 @@ class DramCoreSenseAmp(AnalogCircuit):
         ]
 
     # ------------------------------------------------------------------
-    def _evaluate_physical(
+    def _evaluate_physical_batch(
         self,
         x: np.ndarray,
         corner: PVTCorner,
-        mismatch: Dict[str, Dict[str, float]],
-    ) -> Dict[str, float]:
+        mismatch: Dict[str, Dict[str, np.ndarray]],
+    ) -> Dict[str, np.ndarray]:
+        """Vectorized performance model (see :class:`AnalogCircuit`): the
+        mismatch entries are (B,) arrays and every expression broadcasts."""
         vdd = corner.vdd
         temperature_k = corner.temperature_kelvin
         precharge_voltage = 0.5 * vdd
@@ -170,28 +172,28 @@ class DramCoreSenseAmp(AnalogCircuit):
         psa_beta_avg = 0.5 * (mm("M_psa_a", "beta") + mm("M_psa_b", "beta"))
 
         sense_bias = SENSE_BIAS_FRACTION * vdd
-        nsa_op = m_nsa.operating_point(
+        nsa_op = m_nsa.batch_operating_point(
             vgs=sense_bias,
             vds=precharge_voltage,
             corner=corner,
             vth_shift=nsa_vth_avg,
             beta_error=nsa_beta_avg,
         )
-        psa_op = m_psa.operating_point(
+        psa_op = m_psa.batch_operating_point(
             vgs=sense_bias,
             vds=precharge_voltage,
             corner=corner,
             vth_shift=psa_vth_avg,
             beta_error=psa_beta_avg,
         )
-        sh_n_current = m_sh_n.drain_current(
+        sh_n_current = m_sh_n.batch_drain_current(
             vgs=vdd,
             vds=0.3 * vdd,
             corner=corner,
             vth_shift=mm("M_sh_ndrv", "vth"),
             beta_error=mm("M_sh_ndrv", "beta"),
         )
-        sh_p_current = m_sh_p.drain_current(
+        sh_p_current = m_sh_p.batch_drain_current(
             vgs=vdd,
             vds=0.3 * vdd,
             corner=corner,
@@ -202,34 +204,34 @@ class DramCoreSenseAmp(AnalogCircuit):
         p_share = sh_p_current / SENSE_AMPS_PER_DRIVER
         n_starvation = n_share / (n_share + nsa_op.ids + 1e-12)
         p_starvation = p_share / (p_share + psa_op.ids + 1e-12)
-        n_drive = max(min(nsa_op.ids, n_share), 1e-9)
-        p_drive = max(min(psa_op.ids, p_share), 1e-9)
+        n_drive = np.maximum(np.minimum(nsa_op.ids, n_share), 1e-9)
+        p_drive = np.maximum(np.minimum(psa_op.ids, p_share), 1e-9)
 
         # --- offset cancellation -----------------------------------------
         raw_offset = (
-            abs(mm("M_nsa_a", "vth") - mm("M_nsa_b", "vth"))
-            + 0.8 * abs(mm("M_psa_a", "vth") - mm("M_psa_b", "vth"))
+            np.abs(mm("M_nsa_a", "vth") - mm("M_nsa_b", "vth"))
+            + 0.8 * np.abs(mm("M_psa_a", "vth") - mm("M_psa_b", "vth"))
             + 0.2
-            * abs(mm("M_nsa_a", "beta") - mm("M_nsa_b", "beta"))
+            * np.abs(mm("M_nsa_a", "beta") - mm("M_nsa_b", "beta"))
             * precharge_voltage
         )
-        oc_conductance = m_oc.drain_current(
+        oc_conductance = m_oc.batch_drain_current(
             vgs=vdd,
             vds=0.05 * vdd,
             corner=corner,
             vth_shift=mm("M_oc_switch", "vth"),
             beta_error=mm("M_oc_switch", "beta"),
-        ) / max(0.05 * vdd, 1e-3)
+        ) / np.maximum(0.05 * vdd, 1e-3)
         # Offset-cancellation efficiency improves with the switch conductance
         # settling the storage node within the calibration window: an
         # undersized switch leaves a large fraction of the raw offset, which
         # is what makes this testcase so sensitive to local mismatch.
         settling = 1.0 - np.exp(-oc_conductance * 1.0e-9 / (CSL_CAPACITANCE))
-        cancellation = 0.70 + 0.28 * float(np.clip(settling, 0.0, 1.0))
+        cancellation = 0.70 + 0.28 * np.clip(settling, 0.0, 1.0)
         residual_offset = raw_offset * (1.0 - cancellation)
 
         # Precharge/equalisation error adds a static imbalance if undersized.
-        pre_current = m_pre.drain_current(
+        pre_current = m_pre.batch_drain_current(
             vgs=vdd,
             vds=0.05 * vdd,
             corner=corner,
@@ -248,10 +250,10 @@ class DramCoreSenseAmp(AnalogCircuit):
         # and therefore the effective transconductance.
         gm_n_effective = nsa_op.gm * n_starvation
         gm_p_effective = psa_op.gm * p_starvation
-        amplification_n = min(
+        amplification_n = np.minimum(
             gm_n_effective * SENSE_TIME / BITLINE_CAPACITANCE, MAX_AMPLIFICATION
         )
-        amplification_p = min(
+        amplification_p = np.minimum(
             gm_p_effective * SENSE_TIME / BITLINE_CAPACITANCE, MAX_AMPLIFICATION
         )
         imbalance = (n_drive - p_drive) / (n_drive + p_drive)
@@ -265,8 +267,8 @@ class DramCoreSenseAmp(AnalogCircuit):
         delta_v_d1 = (
             margin_high * amplification_p * (1.0 - IMBALANCE_COUPLING * imbalance)
         )
-        delta_v_d0 = float(np.clip(delta_v_d0, -0.5 * vdd, 0.5 * vdd))
-        delta_v_d1 = float(np.clip(delta_v_d1, -0.5 * vdd, 0.5 * vdd))
+        delta_v_d0 = np.clip(delta_v_d0, -0.5 * vdd, 0.5 * vdd)
+        delta_v_d1 = np.clip(delta_v_d1, -0.5 * vdd, 0.5 * vdd)
 
         # --- energy per 1-bit sensing -------------------------------------
         driver_gate_energy = (
@@ -280,7 +282,7 @@ class DramCoreSenseAmp(AnalogCircuit):
             + CSL_CAPACITANCE
         ) * vdd**2
         restore_energy = 0.25 * BITLINE_CAPACITANCE * vdd * (
-            abs(delta_v_d0) + abs(delta_v_d1)
+            np.abs(delta_v_d0) + np.abs(delta_v_d1)
         ) / 2.0
         crowbar_energy = 0.5 * (nsa_op.ids + psa_op.ids) * CROWBAR_WINDOW * vdd + 0.5 * (
             sh_n_current + sh_p_current
@@ -292,5 +294,5 @@ class DramCoreSenseAmp(AnalogCircuit):
         return {
             "neg_delta_v_d0": -delta_v_d0,
             "neg_delta_v_d1": -delta_v_d1,
-            "energy_per_bit": float(energy_per_bit),
+            "energy_per_bit": energy_per_bit,
         }

@@ -99,12 +99,14 @@ class FloatingInverterAmplifier(AnalogCircuit):
         ]
 
     # ------------------------------------------------------------------
-    def _evaluate_physical(
+    def _evaluate_physical_batch(
         self,
         x: np.ndarray,
         corner: PVTCorner,
-        mismatch: Dict[str, Dict[str, float]],
-    ) -> Dict[str, float]:
+        mismatch: Dict[str, Dict[str, np.ndarray]],
+    ) -> Dict[str, np.ndarray]:
+        """Vectorized performance model (see :class:`AnalogCircuit`): the
+        mismatch entries are (B,) arrays and every expression broadcasts."""
         vdd = corner.vdd
         temperature_k = corner.temperature_kelvin
 
@@ -136,28 +138,28 @@ class FloatingInverterAmplifier(AnalogCircuit):
         nmos_beta_avg = 0.5 * (mm("M_nmos_a", "beta") + mm("M_nmos_b", "beta"))
         pmos_vth_avg = 0.5 * (mm("M_pmos_a", "vth") + mm("M_pmos_b", "vth"))
         pmos_beta_avg = 0.5 * (mm("M_pmos_a", "beta") + mm("M_pmos_b", "beta"))
-        nmos_op = m_nmos.operating_point(
+        nmos_op = m_nmos.batch_operating_point(
             vgs=0.5 * vdd,
             vds=0.5 * vdd,
             corner=corner,
             vth_shift=nmos_vth_avg,
             beta_error=nmos_beta_avg,
         )
-        pmos_op = m_pmos.operating_point(
+        pmos_op = m_pmos.batch_operating_point(
             vgs=0.5 * vdd,
             vds=0.5 * vdd,
             corner=corner,
             vth_shift=pmos_vth_avg,
             beta_error=pmos_beta_avg,
         )
-        gm_total = max(nmos_op.gm + pmos_op.gm, 1e-9)
+        gm_total = np.maximum(nmos_op.gm + pmos_op.gm, 1e-9)
 
         # Integration window ends when the reservoir common-mode collapses:
         # larger reservoirs integrate longer and therefore gain more.
-        bias_current = max(nmos_op.ids + pmos_op.ids, 1e-12)
+        bias_current = np.maximum(nmos_op.ids + pmos_op.ids, 1e-12)
         integration_time = 0.25 * cap_reservoir * vdd / bias_current
-        gain = max(gm_total * integration_time / c_output, 1.0)
-        gain = min(gain, 40.0)
+        gain = np.maximum(gm_total * integration_time / c_output, 1.0)
+        gain = np.minimum(gain, 40.0)
 
         thermal_noise = (
             np.sqrt(4.0 * BOLTZMANN * temperature_k / c_output) / np.sqrt(gain)
@@ -165,16 +167,16 @@ class FloatingInverterAmplifier(AnalogCircuit):
         # Offset is the within-pair mismatch (die-level shifts cancel); the
         # dynamic inverter amplifier provides no offset storage, so it refers
         # to the input with only mild attenuation from the first-stage gain.
-        pair_offset = abs(mm("M_nmos_a", "vth") - mm("M_nmos_b", "vth")) + 0.7 * abs(
-            mm("M_pmos_a", "vth") - mm("M_pmos_b", "vth")
-        )
-        beta_offset = 0.15 * abs(
+        pair_offset = np.abs(
+            mm("M_nmos_a", "vth") - mm("M_nmos_b", "vth")
+        ) + 0.7 * np.abs(mm("M_pmos_a", "vth") - mm("M_pmos_b", "vth"))
+        beta_offset = 0.15 * np.abs(
             mm("M_nmos_a", "beta") - mm("M_nmos_b", "beta")
         ) * vdd
         residual_offset = (pair_offset + beta_offset) / np.power(gain, 0.25)
-        noise = CREST_FACTOR * float(np.sqrt(thermal_noise**2 + residual_offset**2))
+        noise = CREST_FACTOR * np.sqrt(thermal_noise**2 + residual_offset**2)
 
         return {
-            "energy_per_conversion": float(energy),
+            "energy_per_conversion": energy,
             "noise": noise,
         }

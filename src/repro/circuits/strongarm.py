@@ -125,12 +125,15 @@ class StrongArmLatch(AnalogCircuit):
         ]
 
     # ------------------------------------------------------------------
-    def _evaluate_physical(
+    def _evaluate_physical_batch(
         self,
         x: np.ndarray,
         corner: PVTCorner,
-        mismatch: Dict[str, Dict[str, float]],
-    ) -> Dict[str, float]:
+        mismatch: Dict[str, Dict[str, np.ndarray]],
+    ) -> Dict[str, np.ndarray]:
+        """Vectorized performance model: mismatch entries are (B,) arrays and
+        ``corner`` may be array-valued; everything below is ufunc arithmetic,
+        so one call evaluates the whole Monte-Carlo/corner batch."""
         vdd = corner.vdd
         temperature_k = corner.temperature_kelvin
 
@@ -166,66 +169,66 @@ class StrongArmLatch(AnalogCircuit):
         latch_p_beta_avg = 0.5 * (mm("M_latch_p_a", "beta") + mm("M_latch_p_b", "beta"))
 
         # --- tail current and input-pair transconductance --------------
-        tail_current = m_tail.drain_current(
+        tail_current = m_tail.batch_drain_current(
             vgs=vdd,
             vds=0.2 * vdd,
             corner=corner,
             vth_shift=mm("M_tail", "vth"),
             beta_error=mm("M_tail", "beta"),
         )
-        tail_current = max(tail_current, 1e-9)
-        input_op = m_input.operating_point(
+        tail_current = np.maximum(tail_current, 1e-9)
+        input_op = m_input.batch_operating_point(
             vgs=0.55 * vdd,
             vds=0.5 * vdd,
             corner=corner,
             vth_shift=input_vth_avg,
             beta_error=input_beta_avg,
         )
-        gm_input = max(input_op.gm, 1e-9)
+        gm_input = np.maximum(input_op.gm, 1e-9)
 
         # --- set delay: integration + regeneration ----------------------
-        latch_p_params = m_latch_p.effective_parameters(
+        latch_p_vth, _ = m_latch_p.effective_vth_mu(
             corner, latch_p_vth_avg, latch_p_beta_avg
         )
-        vth_p = abs(latch_p_params.vth0)
+        vth_p = np.abs(latch_p_vth)
         integration_time = c_output * vth_p / (0.5 * tail_current)
 
-        gm_latch = m_latch_n.transconductance(
+        gm_latch = m_latch_n.batch_operating_point(
             vgs=0.55 * vdd,
             vds=0.5 * vdd,
             corner=corner,
             vth_shift=latch_n_vth_avg,
             beta_error=latch_n_beta_avg,
-        ) + m_latch_p.transconductance(
+        ).gm + m_latch_p.batch_operating_point(
             vgs=0.55 * vdd,
             vds=0.5 * vdd,
             corner=corner,
             vth_shift=latch_p_vth_avg,
             beta_error=latch_p_beta_avg,
-        )
-        gm_latch = max(gm_latch, 1e-9)
+        ).gm
+        gm_latch = np.maximum(gm_latch, 1e-9)
         regeneration_tau = c_output / gm_latch
         regeneration_time = regeneration_tau * np.log(
-            max(vdd / MIN_RESOLVABLE_INPUT, 2.0)
+            np.maximum(vdd / MIN_RESOLVABLE_INPUT, 2.0)
         )
         set_delay = integration_time + regeneration_time
 
         # --- reset delay: precharge both outputs back to VDD ------------
-        precharge_current = m_precharge.drain_current(
+        precharge_current = m_precharge.batch_drain_current(
             vgs=vdd,
             vds=0.5 * vdd,
             corner=corner,
             vth_shift=mm("M_precharge", "vth"),
             beta_error=mm("M_precharge", "beta"),
         )
-        reset_assist = m_reset.drain_current(
+        reset_assist = m_reset.batch_drain_current(
             vgs=vdd,
             vds=0.5 * vdd,
             corner=corner,
             vth_shift=mm("M_reset", "vth"),
             beta_error=mm("M_reset", "beta"),
         )
-        reset_current = max(precharge_current + 0.5 * reset_assist, 1e-9)
+        reset_current = np.maximum(precharge_current + 0.5 * reset_assist, 1e-9)
         reset_delay = 3.0 * c_output * vdd / reset_current
 
         # --- power -------------------------------------------------------
@@ -239,7 +242,7 @@ class StrongArmLatch(AnalogCircuit):
             + clock_load * vdd**2
             + OFFSET_CAP_ACTIVITY * cap_offset * vdd**2
         )
-        leakage = 2.0 * m_latch_n.drain_current(
+        leakage = 2.0 * m_latch_n.batch_drain_current(
             vgs=0.0, vds=vdd, corner=corner, vth_shift=latch_n_vth_avg
         )
         power = dynamic_energy * CLOCK_FREQUENCY + leakage * vdd
@@ -248,18 +251,18 @@ class StrongArmLatch(AnalogCircuit):
         # Offset comes from the *differences* within matched pairs, so the
         # die-level component of the mismatch samples cancels here; only
         # within-die (Pelgrom) mismatch survives.
-        integration_gain = max(gm_input * integration_time / c_output, 1.0)
+        integration_gain = np.maximum(gm_input * integration_time / c_output, 1.0)
         thermal_noise = (
             np.sqrt(2.0 * BOLTZMANN * temperature_k / c_output) / integration_gain
         )
-        input_pair_offset = abs(mm("M_input_a", "vth") - mm("M_input_b", "vth"))
-        latch_offset = abs(
+        input_pair_offset = np.abs(mm("M_input_a", "vth") - mm("M_input_b", "vth"))
+        latch_offset = np.abs(
             mm("M_latch_n_a", "vth") - mm("M_latch_n_b", "vth")
-        ) + 0.6 * abs(mm("M_latch_p_a", "vth") - mm("M_latch_p_b", "vth"))
+        ) + 0.6 * np.abs(mm("M_latch_p_a", "vth") - mm("M_latch_p_b", "vth"))
         beta_offset = (
             0.3
-            * abs(mm("M_input_a", "beta") - mm("M_input_b", "beta"))
-            * max(input_op.vov, 0.05)
+            * np.abs(mm("M_input_a", "beta") - mm("M_input_b", "beta"))
+            * np.maximum(input_op.vov, 0.05)
         )
         raw_offset = (
             input_pair_offset + latch_offset / integration_gain + beta_offset
@@ -268,11 +271,11 @@ class StrongArmLatch(AnalogCircuit):
             cap_offset + OFFSET_NODE_PARASITIC
         )
         residual_offset = raw_offset * offset_attenuation
-        noise = float(np.sqrt(thermal_noise**2 + residual_offset**2))
+        noise = np.sqrt(thermal_noise**2 + residual_offset**2)
 
         return {
-            "power": float(power),
-            "set_delay": float(set_delay),
-            "reset_delay": float(reset_delay),
+            "power": power,
+            "set_delay": set_delay,
+            "reset_delay": reset_delay,
             "noise": noise,
         }

@@ -32,7 +32,7 @@ from repro.core.result import IterationRecord, OptimizationResult
 from repro.core.reward import (
     FEASIBLE_REWARD,
     reward_from_metrics,
-    rewards_and_worst,
+    rewards_from_matrix,
 )
 from repro.core.spec import DesignSpec
 from repro.core.turbo import TurboSampler
@@ -137,7 +137,11 @@ class GlovaOptimizer:
                         )
                     ]
                 metric_dicts = [r.metrics for r in records]
-                _, corner_worst = rewards_and_worst(self.spec, metric_dicts)
+                corner_rewards = rewards_from_matrix(
+                    self.spec,
+                    self.simulator.metrics_matrix(records, self.spec.metric_names),
+                )
+                corner_worst = float(corner_rewards.min())
                 self.last_worst.update(corner, corner_worst)
                 worst_reward = min(worst_reward, corner_worst)
                 if self.config.risk_adjusted_reward and len(records) >= 2:
@@ -185,7 +189,11 @@ class GlovaOptimizer:
                 design, worst_corner, mismatch_set, phase=SimulationPhase.OPTIMIZATION
             )
             metric_dicts = [r.metrics for r in records]
-            rewards, worst_reward = rewards_and_worst(self.spec, metric_dicts)
+            rewards = rewards_from_matrix(
+                self.spec,
+                self.simulator.metrics_matrix(records, self.spec.metric_names),
+            )
+            worst_reward = float(rewards.min())
             self.last_worst.update(worst_corner, worst_reward)
 
             # --- step 4: mu-sigma decision on whether to verify ----------

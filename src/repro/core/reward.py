@@ -34,6 +34,17 @@ def reward_from_metrics(spec: DesignSpec, metrics: Mapping[str, float]) -> float
     return reward_from_normalized(spec.normalized_metrics(metrics))
 
 
+def rewards_from_matrix(spec: DesignSpec, metric_matrix: np.ndarray) -> np.ndarray:
+    """Vectorized rewards for an ``(N, n_metrics)`` raw-metric matrix.
+
+    One pass over the whole Monte-Carlo batch: equivalent to calling
+    :func:`reward_from_metrics` per row, without the per-record dict traffic.
+    """
+    normalized = spec.normalized_matrix(metric_matrix)
+    shortfall = np.sum(np.minimum(normalized, 0.0), axis=1)
+    return np.where(shortfall >= 0.0, FEASIBLE_REWARD, shortfall)
+
+
 def worst_case_reward(
     spec: DesignSpec, metric_dicts: Iterable[Mapping[str, float]]
 ) -> float:

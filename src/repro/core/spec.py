@@ -92,6 +92,18 @@ class DesignSpec:
         """Vector of ``f_i`` values (positive = satisfied)."""
         return np.array([c.normalized(metrics[c.metric]) for c in self._constraints])
 
+    def normalized_matrix(self, metric_matrix: np.ndarray) -> np.ndarray:
+        """Vectorized ``f_i`` for an ``(N, n_metrics)`` raw-metric matrix.
+
+        Columns must be ordered like :attr:`metric_names` (the layout
+        produced by ``CircuitSimulator.metrics_matrix``).
+        """
+        metric_matrix = np.asarray(metric_matrix, dtype=float)
+        bounds = self.bounds
+        return (bounds - metric_matrix) / (
+            np.abs(bounds) + np.abs(metric_matrix) + _EPSILON
+        )
+
     def margins(self, metrics: Mapping[str, float]) -> Dict[str, float]:
         """Per-metric slack ``c_i - F_i``."""
         return {c.metric: c.margin(metrics[c.metric]) for c in self._constraints}

@@ -37,7 +37,7 @@ from repro.core.config import OperationalConfig
 from repro.core.mu_sigma import MuSigmaEvaluator, MuSigmaResult
 from repro.core.reordering import h_scores, order_by_scores, pearson_correlation, t_score
 from repro.core.replay import LastWorstCaseBuffer
-from repro.core.reward import FEASIBLE_REWARD, reward_from_metrics
+from repro.core.reward import FEASIBLE_REWARD, reward_from_metrics, rewards_from_matrix
 from repro.core.spec import DesignSpec
 from repro.simulation.budget import SimulationPhase
 from repro.simulation.simulator import CircuitSimulator, SimulationRecord
@@ -99,10 +99,6 @@ class Verifier:
             rng=self.rng,
         )
 
-    def _performance_sum(self, record: SimulationRecord) -> float:
-        """The summed normalised performance ``g`` for one simulation."""
-        return float(np.sum(self.spec.normalized_metrics(record.metrics)))
-
     # ------------------------------------------------------------------
     def verify(
         self,
@@ -160,14 +156,19 @@ class Verifier:
                     design, corner, mismatch_set, phase=SimulationPhase.VERIFICATION
                 )
 
-            rewards = [reward_from_metrics(self.spec, r.metrics) for r in records]
-            worst_reward = min(worst_reward, min(rewards))
+            # One matrix pass covers rewards and the Pearson performance
+            # sums — no per-record Python loops on the MC hot path.
+            metric_matrix = self.simulator.metrics_matrix(
+                records, self.spec.metric_names
+            )
+            rewards = rewards_from_matrix(self.spec, metric_matrix)
+            worst_reward = min(worst_reward, float(rewards.min()))
             mu_sigma = self.evaluator.evaluate([r.metrics for r in records])
 
             screen_failed = (
                 not mu_sigma.passed
                 if self.use_mu_sigma
-                else any(reward < FEASIBLE_REWARD for reward in rewards)
+                else bool(np.any(rewards < FEASIBLE_REWARD))
             )
             if screen_failed:
                 return VerificationResult(
@@ -179,7 +180,7 @@ class Verifier:
                     corner_reports=screen_results,
                 )
 
-            performance = np.array([self._performance_sum(r) for r in records])
+            performance = self.spec.normalized_matrix(metric_matrix).sum(axis=1)
             correlation = pearson_correlation(mismatch_set.samples, performance)
             screen_results.append(
                 CornerScreenResult(

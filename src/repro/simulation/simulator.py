@@ -11,30 +11,50 @@ points that mirror how the paper issues SPICE jobs:
 
 Every call is charged to a :class:`~repro.simulation.budget.SimulationBudget`
 so the paper's "# Simulation" column can be reproduced exactly.
+
+The multi-condition entry points are **batched**: when the circuit provides
+a vectorized evaluation path (``circuit.supports_batch``), the whole
+mismatch set or corner sweep is evaluated in one
+:meth:`~repro.circuits.base.AnalogCircuit.evaluate_batch` pass instead of B
+scalar calls.  Budget accounting is unchanged — a batch of B conditions
+still charges B simulations, exactly as the paper counts them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.circuits.base import AnalogCircuit
 from repro.simulation.budget import SimulationBudget, SimulationPhase
-from repro.variation.corners import CornerSet, PVTCorner, typical_corner
+from repro.variation.corners import CornerBatch, CornerSet, PVTCorner, typical_corner
 from repro.variation.mismatch import MismatchSet
 
 
 @dataclass(frozen=True)
 class SimulationRecord:
-    """One simulation outcome: the metrics for ``(x, corner, h)``."""
+    """One simulation outcome: the metrics for ``(x, corner, h)``.
+
+    Records produced by a batched sweep carry a precomputed metric vector
+    (one row of the batch matrix), so stacking many records back into a
+    matrix needs no per-record dict traffic.
+    """
 
     metrics: Dict[str, float]
     corner: PVTCorner
     mismatch: Optional[np.ndarray]
+    vector: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    vector_names: Optional[Tuple[str, ...]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def metric_vector(self, names: Sequence[str]) -> np.ndarray:
+        if self.vector is not None and tuple(names) == self.vector_names:
+            # Copy so callers can mutate the result without corrupting the
+            # record (scalar records always return a fresh array).
+            return self.vector.copy()
         return np.array([self.metrics[name] for name in names])
 
 
@@ -78,11 +98,25 @@ class CircuitSimulator:
         mismatch_set: MismatchSet,
         phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
     ) -> List[SimulationRecord]:
-        """Evaluate one design at one corner across every mismatch condition."""
-        records = []
-        for mismatch in mismatch_set:
-            records.append(self.simulate(x_normalized, corner, mismatch, phase))
-        return records
+        """Evaluate one design at one corner across every mismatch condition.
+
+        Fast path: circuits with a vectorized evaluation run the whole N'
+        batch in a single :meth:`AnalogCircuit.evaluate_batch` call.  The
+        budget is still charged one simulation per mismatch condition.
+        """
+        count = len(mismatch_set)
+        if not self._circuit.supports_batch:
+            return [
+                self.simulate(x_normalized, corner, mismatch, phase)
+                for mismatch in mismatch_set
+            ]
+        self._budget.record(phase, count)
+        metrics = self._circuit.evaluate_batch(
+            x_normalized, corner, mismatch_set.samples
+        )
+        return self._records_from_batch(
+            metrics, [corner] * count, list(mismatch_set)
+        )
 
     def simulate_corners(
         self,
@@ -91,10 +125,29 @@ class CircuitSimulator:
         mismatch: Optional[np.ndarray] = None,
         phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
     ) -> List[SimulationRecord]:
-        """Evaluate one design across a corner set at a fixed mismatch."""
-        return [
-            self.simulate(x_normalized, corner, mismatch, phase) for corner in corners
-        ]
+        """Evaluate one design across a corner set at a fixed mismatch.
+
+        Fast path: the whole sweep is evaluated in one pass with the corner
+        axis batched (:class:`~repro.variation.corners.CornerBatch`).
+        """
+        corner_list = list(corners)
+        if not corner_list:
+            return []
+        if not self._circuit.supports_batch:
+            return [
+                self.simulate(x_normalized, corner, mismatch, phase)
+                for corner in corner_list
+            ]
+        count = len(corner_list)
+        self._budget.record(phase, count)
+        corner_batch = CornerBatch.from_corners(corner_list)
+        h_matrix = None
+        if mismatch is not None:
+            h_matrix = np.tile(np.asarray(mismatch, dtype=float), (count, 1))
+        metrics = self._circuit.evaluate_batch(x_normalized, corner_batch, h_matrix)
+        return self._records_from_batch(
+            metrics, corner_list, [mismatch] * count
+        )
 
     def simulate_typical(
         self,
@@ -105,9 +158,42 @@ class CircuitSimulator:
         return self.simulate(x_normalized, typical_corner(), None, phase)
 
     # ------------------------------------------------------------------
+    def _records_from_batch(
+        self,
+        metrics: Dict[str, np.ndarray],
+        corners: Sequence[PVTCorner],
+        mismatches: Sequence[Optional[np.ndarray]],
+    ) -> List[SimulationRecord]:
+        """Wrap a batched metric dict into per-condition records."""
+        names = tuple(self._circuit.metric_names)
+        matrix = np.column_stack([np.asarray(metrics[name], float) for name in names])
+        return [
+            SimulationRecord(
+                metrics=dict(zip(names, row.tolist())),
+                corner=corners[index],
+                mismatch=mismatches[index],
+                vector=row,
+                vector_names=names,
+            )
+            for index, row in enumerate(matrix)
+        ]
+
     def metrics_matrix(
-        self, records: Sequence[SimulationRecord]
+        self,
+        records: Sequence[SimulationRecord],
+        names: Optional[Sequence[str]] = None,
     ) -> np.ndarray:
-        """Stack record metrics into an ``(n_records, n_metrics)`` array."""
-        names = self._circuit.metric_names
-        return np.array([record.metric_vector(names) for record in records])
+        """Stack record metrics into an ``(n_records, n_metrics)`` array.
+
+        Columns follow ``names`` (default: the circuit's metric order).
+        Callers that feed the matrix to order-sensitive consumers (e.g.
+        ``DesignSpec.normalized_matrix``) should pass that consumer's
+        ordering explicitly.  Records from a batched sweep contribute their
+        cached vectors when the ordering matches, so the common case is a
+        plain ``np.stack`` with no per-record dict lookups.
+        """
+        if names is None:
+            names = self._circuit.metric_names
+        if not records:
+            return np.empty((0, len(names)))
+        return np.stack([record.metric_vector(names) for record in records])

@@ -1,0 +1,591 @@
+"""Batched MNA simulation engine.
+
+The scalar stack in :mod:`repro.spice.dc` / :mod:`repro.spice.transient`
+re-stamps the full dense MNA matrix element-by-element inside every Newton
+iteration.  A Monte-Carlo mismatch sweep or a PVT corner sweep runs the same
+topology B times with only device parameters changing — exactly the shape
+NumPy batching eats for breakfast.  This module splits assembly into
+
+* a **static linear stamp** — resistors, capacitor companion-conductance
+  patterns, current sources, VCCS and voltage-source rows, built once per
+  (circuit, corner) and cached by :class:`BatchedMNAStamper`; and
+* an **incremental nonlinear restamp** — MOSFET companion models evaluated
+  through the vectorized :meth:`MosfetModel.batch_operating_point` over a
+  leading batch axis and scattered into ``(B, n, n)`` stacked matrices,
+
+and solves all B Newton systems in one stacked ``np.linalg.solve``.  The
+Newton loops carry **per-sample convergence masks**: each sample leaves the
+active set the moment its update drops below tolerance (mirroring the scalar
+solver's stopping rule exactly), so a single slow sample never perturbs the
+already-converged ones and the batch shrinks as it converges.
+
+``solve_dc_batched`` / ``solve_transient_batched`` are drop-in batched twins
+of :func:`repro.spice.dc.solve_dc` / :func:`repro.spice.transient.solve_transient`;
+per-sample device variation (the Monte-Carlo axis) enters through
+``mismatch``: a map ``{device_name: {"vth": (B,), "beta": (B,)}}`` of
+array-valued threshold shifts / current-factor errors that *replace* the
+netlist devices' scalar values for the whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.spice.dc import ConvergenceError, DCSolution
+from repro.spice.mna import MNAStamper
+from repro.spice.netlist import (
+    GROUND,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    VCCS,
+    VoltageSource,
+)
+from repro.spice.transient import (
+    TransientResult,
+    _first_crossing,
+    sample_source_waveforms,
+)
+from repro.variation.corners import PVTCorner
+
+#: Per-sample device-variation map: ``{device: {"vth": (B,), "beta": (B,)}}``.
+DeviceVariation = Mapping[str, Mapping[str, np.ndarray]]
+
+
+@dataclass
+class BatchedDCSolution:
+    """Operating points for a whole batch: arrays with a leading B axis."""
+
+    voltages: np.ndarray  # (B, n_nodes)
+    source_currents: np.ndarray  # (B, n_sources)
+    iterations: np.ndarray  # (B,) Newton iterations per sample
+    converged: np.ndarray  # (B,) bool
+    node_index: Dict[str, int]
+    source_index: Dict[str, int]
+
+    def __len__(self) -> int:
+        return self.voltages.shape[0]
+
+    def voltage(self, node: str) -> np.ndarray:
+        """The (B,) voltage of one node across the batch."""
+        if node == GROUND:
+            return np.zeros(len(self))
+        return self.voltages[:, self.node_index[node]]
+
+    def solution_for(self, index: int) -> DCSolution:
+        """One batch element repackaged as a scalar :class:`DCSolution`."""
+        node_voltages = {
+            name: float(self.voltages[index, position])
+            for name, position in self.node_index.items()
+        }
+        currents = {
+            name: float(self.source_currents[index, position])
+            for name, position in self.source_index.items()
+        }
+        return DCSolution(node_voltages, currents, int(self.iterations[index]))
+
+
+@dataclass
+class BatchedTransientResult:
+    """Waveforms for a whole batch: ``data`` is ``(B, n_nodes, n_steps+1)``."""
+
+    times: np.ndarray
+    data: np.ndarray
+    node_index: Dict[str, int]
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def voltage(self, node: str) -> np.ndarray:
+        """The (B, n_steps+1) waveforms of one node across the batch."""
+        if node == GROUND:
+            return np.zeros((len(self), self.times.shape[0]))
+        return self.data[:, self.node_index[node], :]
+
+    def final_voltage(self, node: str) -> np.ndarray:
+        return self.voltage(node)[:, -1].copy()
+
+    def crossing_time(
+        self, node: str, threshold: float, rising: bool = True
+    ) -> np.ndarray:
+        """Per-sample first crossing times; ``NaN`` where never crossed."""
+        return _first_crossing(self.times, self.voltage(node), threshold, rising)
+
+    def result_for(self, index: int) -> TransientResult:
+        """One batch element repackaged as a scalar :class:`TransientResult`."""
+        return TransientResult(
+            self.times, self.data[index].copy(), dict(self.node_index)
+        )
+
+
+@dataclass(frozen=True)
+class _MosfetMeta:
+    """Precomputed gather/scatter metadata for one MOSFET."""
+
+    element: Mosfet
+    drain: Optional[int]
+    gate: Optional[int]
+    source: Optional[int]
+
+
+class BatchedMNAStamper(MNAStamper):
+    """Stamps and solves a circuit's MNA system over a leading batch axis.
+
+    Subclasses :class:`~repro.spice.mna.MNAStamper` for the index maps and
+    the scalar stamp primitives, so the two engines share one definition of
+    every stamp.  The static linear stamp (everything except MOSFETs and
+    time-varying source values) is assembled exactly once in the
+    constructor; per-Newton-iteration work is limited to the vectorized
+    MOSFET restamp plus one stacked ``np.linalg.solve`` over the active
+    samples.
+    """
+
+    def __init__(self, circuit: Circuit, corner: Optional[PVTCorner] = None):
+        super().__init__(circuit, corner)
+        self.size = self.num_nodes + self.num_sources
+
+        # ---- static linear stamp (built once) -------------------------
+        matrix = np.zeros((self.size, self.size))
+        rhs = np.zeros(self.size)
+        matrix[: self.num_nodes, : self.num_nodes] += self.GMIN * np.eye(
+            self.num_nodes
+        )
+
+        cap_pattern = np.zeros((self.size, self.size))
+        cap_terms: List[Tuple[Optional[int], Optional[int], float]] = []
+        mosfets: List[_MosfetMeta] = []
+        source_base = np.zeros(self.num_sources)
+
+        for element in circuit.elements:
+            if isinstance(element, Resistor):
+                self._stamp_conductance(
+                    matrix, element.node_a, element.node_b, 1.0 / element.resistance
+                )
+            elif isinstance(element, Capacitor):
+                # Stored as a dt-independent pattern: the transient step adds
+                # ``scale * cap_pattern`` for the backward-Euler conductance.
+                self._stamp_conductance(
+                    cap_pattern, element.node_a, element.node_b, element.capacitance
+                )
+                cap_terms.append(
+                    (
+                        self._idx(element.node_a),
+                        self._idx(element.node_b),
+                        element.capacitance,
+                    )
+                )
+            elif isinstance(element, CurrentSource):
+                self._stamp_current(
+                    rhs, element.node_plus, element.node_minus, element.current
+                )
+            elif isinstance(element, VCCS):
+                self._stamp_vccs(
+                    matrix,
+                    element.node_plus,
+                    element.node_minus,
+                    element.control_plus,
+                    element.control_minus,
+                    element.gm,
+                )
+            elif isinstance(element, VoltageSource):
+                self._stamp_voltage_source_rows(matrix, element)
+                source_base[self.source_index[element.name]] = element.voltage
+            elif isinstance(element, Mosfet):
+                mosfets.append(
+                    _MosfetMeta(
+                        element=element,
+                        drain=self._idx(element.drain),
+                        gate=self._idx(element.gate),
+                        source=self._idx(element.source),
+                    )
+                )
+            else:  # pragma: no cover - future element types
+                raise TypeError(f"unsupported element type {type(element)!r}")
+
+        self._static_matrix = matrix
+        self._static_rhs = rhs
+        self._cap_pattern = cap_pattern
+        self._cap_terms = cap_terms
+        self._mosfets = mosfets
+        self._source_base = source_base
+        self.has_nonlinear = bool(mosfets)
+
+    # ------------------------------------------------------------------
+    # Batched assembly (_idx and the scalar stamp helpers used to build
+    # the static stamp are inherited from MNAStamper)
+    # ------------------------------------------------------------------
+    def check_mismatch_devices(self, mismatch: Optional[DeviceVariation]) -> None:
+        """Reject mismatch entries that name no MOSFET in the circuit.
+
+        A typo'd device name would otherwise be silently ignored and the
+        whole Monte-Carlo sweep would run at nominal conditions.
+        """
+        if not mismatch:
+            return
+        known = {meta.element.name for meta in self._mosfets}
+        unknown = set(mismatch) - known
+        if unknown:
+            raise ValueError(
+                f"mismatch refers to unknown MOSFET(s) {sorted(unknown)}; "
+                f"circuit {self.circuit.name!r} has {sorted(known)}"
+            )
+
+    def source_rhs(self, source_values: Optional[Dict[str, float]] = None) -> np.ndarray:
+        """The (size,) static RHS with optional per-source voltage overrides."""
+        rhs = self._static_rhs.copy()
+        values = self._source_base
+        if source_values:
+            values = values.copy()
+            for name, value in source_values.items():
+                if name in self.source_index:
+                    values[self.source_index[name]] = float(value)
+        rhs[self.num_nodes :] += values
+        return rhs
+
+    def assemble_batch(
+        self,
+        voltages: np.ndarray,
+        mismatch: Optional[DeviceVariation] = None,
+        capacitor_conductance: float = 0.0,
+        capacitor_history: Optional[np.ndarray] = None,
+        source_values: Optional[Dict[str, float]] = None,
+        sample_indices: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Assemble stacked systems ``A (B, size, size)``, ``z (B, size)``.
+
+        Parameters
+        ----------
+        voltages:
+            ``(B, n_nodes)`` Newton iterates (one row per sample).
+        mismatch:
+            Per-sample device variation; values indexed by ``sample_indices``
+            when a subset of the batch is being re-assembled.
+        capacitor_conductance:
+            Backward-Euler ``1/dt`` scale (0 for DC).
+        capacitor_history:
+            ``(B, n_caps)`` companion history currents for transient steps.
+        source_values:
+            Per-source voltage overrides (shared across the batch).
+        sample_indices:
+            Positions of ``voltages`` rows within the full batch, used to
+            slice the mismatch arrays when only unconverged samples remain.
+        """
+        voltages = np.atleast_2d(np.asarray(voltages, dtype=float))
+        batch = voltages.shape[0]
+
+        static = self._static_matrix
+        if capacitor_conductance > 0.0:
+            static = static + capacitor_conductance * self._cap_pattern
+        matrices = np.broadcast_to(static, (batch, self.size, self.size)).copy()
+
+        rhs = np.broadcast_to(self.source_rhs(source_values), (batch, self.size)).copy()
+        if capacitor_history is not None and self._cap_terms:
+            for position, (idx_a, idx_b, _cap) in enumerate(self._cap_terms):
+                current = capacitor_history[:, position]
+                if idx_a is not None:
+                    rhs[:, idx_a] += current
+                if idx_b is not None:
+                    rhs[:, idx_b] -= current
+
+        self._stamp_mosfets(matrices, rhs, voltages, mismatch, sample_indices)
+        return matrices, rhs
+
+    def _gather(self, voltages: np.ndarray, index: Optional[int]) -> np.ndarray:
+        """Batched node-voltage gather (``None`` = ground -> zeros)."""
+        if index is None:
+            return np.zeros(voltages.shape[0])
+        return voltages[:, index]
+
+    def _device_variation(
+        self,
+        meta: _MosfetMeta,
+        mismatch: Optional[DeviceVariation],
+        sample_indices: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-sample (vth_shift, beta_error) for one device."""
+        overrides = (mismatch or {}).get(meta.element.name)
+        if overrides is None:
+            return (
+                np.asarray(meta.element.vth_shift, dtype=float),
+                np.asarray(meta.element.beta_error, dtype=float),
+            )
+        vth = np.asarray(overrides.get("vth", meta.element.vth_shift), dtype=float)
+        beta = np.asarray(overrides.get("beta", meta.element.beta_error), dtype=float)
+        if sample_indices is not None:
+            if vth.ndim:
+                vth = vth[sample_indices]
+            if beta.ndim:
+                beta = beta[sample_indices]
+        return vth, beta
+
+    def _stamp_mosfets(
+        self,
+        matrices: np.ndarray,
+        rhs: np.ndarray,
+        voltages: np.ndarray,
+        mismatch: Optional[DeviceVariation],
+        sample_indices: Optional[np.ndarray],
+    ) -> None:
+        """Incremental nonlinear restamp, vectorized over the batch axis."""
+        for meta in self._mosfets:
+            device = meta.element
+            vd = self._gather(voltages, meta.drain)
+            vg = self._gather(voltages, meta.gate)
+            vs = self._gather(voltages, meta.source)
+            if device.is_pmos:
+                vgs = vs - vg
+                vds = vs - vd
+            else:
+                vgs = vg - vs
+                vds = vd - vs
+            vds = np.maximum(vds, 0.0)
+
+            vth_shift, beta_error = self._device_variation(
+                meta, mismatch, sample_indices
+            )
+            op = device.model.batch_operating_point(
+                vgs, vds, self.corner, vth_shift, beta_error
+            )
+            ieq = op.ids - op.gm * vgs - op.gds * vds
+
+            if device.is_pmos:
+                self._add_conductance(matrices, meta.source, meta.drain, op.gds)
+                self._add_vccs(
+                    matrices, meta.source, meta.drain, meta.source, meta.gate, op.gm
+                )
+                self._add_current(rhs, meta.drain, meta.source, ieq)
+            else:
+                self._add_conductance(matrices, meta.drain, meta.source, op.gds)
+                self._add_vccs(
+                    matrices, meta.drain, meta.source, meta.gate, meta.source, op.gm
+                )
+                self._add_current(rhs, meta.source, meta.drain, ieq)
+
+    # Batched stamp primitives: `a` / `b` are precomputed node positions
+    # (None = ground) and `value` broadcasts over the batch axis.
+    @staticmethod
+    def _add_conductance(matrices, a, b, value) -> None:
+        if a is not None:
+            matrices[:, a, a] += value
+        if b is not None:
+            matrices[:, b, b] += value
+        if a is not None and b is not None:
+            matrices[:, a, b] -= value
+            matrices[:, b, a] -= value
+
+    @staticmethod
+    def _add_vccs(matrices, out_plus, out_minus, control_plus, control_minus, gm) -> None:
+        for out_index, sign in ((out_plus, 1.0), (out_minus, -1.0)):
+            if out_index is None:
+                continue
+            if control_plus is not None:
+                matrices[:, out_index, control_plus] += sign * gm
+            if control_minus is not None:
+                matrices[:, out_index, control_minus] -= sign * gm
+
+    @staticmethod
+    def _add_current(rhs, plus, minus, value) -> None:
+        if plus is not None:
+            rhs[:, plus] += value
+        if minus is not None:
+            rhs[:, minus] -= value
+
+
+def solve_dc_batched(
+    circuit: Circuit,
+    corner: Optional[PVTCorner] = None,
+    mismatch: Optional[DeviceVariation] = None,
+    batch_size: Optional[int] = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-9,
+    damping: float = 1.0,
+    initial_guess: Optional[Dict[str, float]] = None,
+    source_values: Optional[Dict[str, float]] = None,
+    raise_on_failure: bool = True,
+) -> BatchedDCSolution:
+    """Batched twin of :func:`repro.spice.dc.solve_dc`.
+
+    All B samples are integrated in lockstep; converged samples drop out of
+    the active set (per-sample convergence masks) so the stacked solve
+    shrinks as the batch converges.  With ``raise_on_failure=False``
+    unconverged samples are reported through ``converged`` instead of
+    raising :class:`ConvergenceError`.
+    """
+    stamper = BatchedMNAStamper(circuit, corner)
+    stamper.check_mismatch_devices(mismatch)
+    batch = _infer_batch(mismatch, batch_size)
+    num_nodes = stamper.num_nodes
+
+    voltages = np.zeros((batch, num_nodes))
+    if initial_guess:
+        for node, value in initial_guess.items():
+            if node in stamper.node_index:
+                voltages[:, stamper.node_index[node]] = value
+
+    nonlinear = circuit.has_nonlinear_elements()
+    iterations = np.zeros(batch, dtype=int)
+    converged = np.zeros(batch, dtype=bool)
+    active = np.arange(batch)
+
+    for iteration in range(1, max_iterations + 1):
+        matrices, rhs = stamper.assemble_batch(
+            voltages[active],
+            mismatch=mismatch,
+            source_values=source_values,
+            sample_indices=active,
+        )
+        try:
+            solution = np.linalg.solve(matrices, rhs[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError as error:
+            raise ConvergenceError(
+                f"singular MNA matrix for circuit {circuit.name!r}: {error}"
+            ) from error
+        new_voltages = solution[:, :num_nodes]
+        iterations[active] = iteration
+        if not nonlinear:
+            voltages[active] = new_voltages
+            converged[active] = True
+            active = active[:0]
+            break
+        delta = new_voltages - voltages[active]
+        voltages[active] += damping * delta
+        done = np.max(np.abs(delta), axis=1) < tolerance
+        converged[active[done]] = True
+        active = active[~done]
+        if active.size == 0:
+            break
+
+    if active.size and raise_on_failure:
+        raise ConvergenceError(
+            f"DC solve of {circuit.name!r} did not converge in "
+            f"{max_iterations} iterations for {active.size}/{batch} samples"
+        )
+
+    # Final pass at the converged voltages to extract source currents,
+    # mirroring the scalar solver's closing assemble+solve.
+    matrices, rhs = stamper.assemble_batch(
+        voltages, mismatch=mismatch, source_values=source_values
+    )
+    solution = np.linalg.solve(matrices, rhs[:, :, None])[:, :, 0]
+    return BatchedDCSolution(
+        voltages=solution[:, :num_nodes],
+        source_currents=solution[:, num_nodes:],
+        iterations=iterations,
+        converged=converged,
+        node_index=dict(stamper.node_index),
+        source_index=dict(stamper.source_index),
+    )
+
+
+def solve_transient_batched(
+    circuit: Circuit,
+    stop_time: float,
+    time_step: float,
+    corner: Optional[PVTCorner] = None,
+    mismatch: Optional[DeviceVariation] = None,
+    batch_size: Optional[int] = None,
+    initial_conditions: Optional[Dict[str, float]] = None,
+    source_waveforms: Optional[Dict[str, object]] = None,
+    newton_iterations: int = 40,
+    tolerance: float = 1e-7,
+) -> BatchedTransientResult:
+    """Batched twin of :func:`repro.spice.transient.solve_transient`.
+
+    Every sample advances through the same backward-Euler time grid; within
+    each step the Newton loop uses per-sample convergence masks exactly like
+    :func:`solve_dc_batched`.  Time-varying sources are shared across the
+    batch (the batch axis carries device variation, not drive variation) and
+    are applied as stamping overrides — the netlist is never mutated.
+    """
+    if stop_time <= 0 or time_step <= 0:
+        raise ValueError("stop_time and time_step must be positive")
+    source_waveforms = source_waveforms or {}
+    stamper = BatchedMNAStamper(circuit, corner)
+    stamper.check_mismatch_devices(mismatch)
+    batch = _infer_batch(mismatch, batch_size)
+    num_nodes = stamper.num_nodes
+
+    if initial_conditions is None:
+        start = solve_dc_batched(
+            circuit,
+            corner,
+            mismatch=mismatch,
+            batch_size=batch,
+            source_values=sample_source_waveforms(source_waveforms, 0.0),
+        )
+        voltages = start.voltages.copy()
+    else:
+        voltages = np.zeros((batch, num_nodes))
+        for node, value in initial_conditions.items():
+            if node in stamper.node_index:
+                voltages[:, stamper.node_index[node]] = value
+
+    steps = int(np.ceil(stop_time / time_step))
+    times = np.linspace(0.0, steps * time_step, steps + 1)
+    data = np.zeros((batch, num_nodes, steps + 1))
+    data[:, :, 0] = voltages
+    conductance_scale = 1.0 / time_step
+    cap_terms = stamper._cap_terms
+
+    for step in range(1, steps + 1):
+        source_values = sample_source_waveforms(source_waveforms, times[step])
+
+        history = np.zeros((batch, len(cap_terms)))
+        for position, (idx_a, idx_b, capacitance) in enumerate(cap_terms):
+            v_a = voltages[:, idx_a] if idx_a is not None else 0.0
+            v_b = voltages[:, idx_b] if idx_b is not None else 0.0
+            history[:, position] = conductance_scale * capacitance * (v_a - v_b)
+
+        iterate = voltages.copy()
+        active = np.arange(batch)
+        for _ in range(newton_iterations):
+            matrices, rhs = stamper.assemble_batch(
+                iterate[active],
+                mismatch=mismatch,
+                capacitor_conductance=conductance_scale,
+                capacitor_history=history[active],
+                source_values=source_values,
+                sample_indices=active,
+            )
+            try:
+                solution = np.linalg.solve(matrices, rhs[:, :, None])[:, :, 0]
+            except np.linalg.LinAlgError as error:
+                raise ConvergenceError(
+                    f"singular matrix during transient of {circuit.name!r}"
+                ) from error
+            new_iterate = solution[:, :num_nodes]
+            done = np.max(np.abs(new_iterate - iterate[active]), axis=1) < tolerance
+            iterate[active] = new_iterate
+            active = active[~done]
+            if active.size == 0:
+                break
+        voltages = iterate
+        data[:, :, step] = voltages
+
+    return BatchedTransientResult(times, data, dict(stamper.node_index))
+
+
+def _infer_batch(
+    mismatch: Optional[DeviceVariation], batch_size: Optional[int]
+) -> int:
+    """Batch length from explicit size and/or the mismatch array shapes."""
+    inferred = None
+    for quantities in (mismatch or {}).values():
+        for values in quantities.values():
+            values = np.asarray(values)
+            if values.ndim:
+                if inferred is None:
+                    inferred = values.shape[0]
+                elif inferred != values.shape[0]:
+                    raise ValueError("inconsistent mismatch batch lengths")
+    if batch_size is not None and inferred is not None and batch_size != inferred:
+        raise ValueError(
+            f"batch_size={batch_size} conflicts with mismatch batch {inferred}"
+        )
+    batch = batch_size if batch_size is not None else inferred
+    return 1 if batch is None else int(batch)

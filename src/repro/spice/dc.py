@@ -40,12 +40,15 @@ def solve_dc(
     tolerance: float = 1e-9,
     damping: float = 1.0,
     initial_guess: Optional[Dict[str, float]] = None,
+    source_values: Optional[Dict[str, float]] = None,
 ) -> DCSolution:
     """Compute the DC operating point of ``circuit``.
 
     Linear circuits converge in a single step.  Circuits containing MOSFETs
     are solved with a damped Newton iteration on the companion-model
     linearisation; ``damping`` < 1 trades speed for robustness.
+    ``source_values`` optionally overrides voltage-source values without
+    touching the netlist (used for transient t=0 conditions).
     """
     stamper = MNAStamper(circuit, corner)
     num_nodes = stamper.num_nodes
@@ -60,7 +63,7 @@ def solve_dc(
 
     for iteration in range(1, max_iterations + 1):
         iterations_used = iteration
-        system = stamper.assemble(voltages=voltages)
+        system = stamper.assemble(voltages=voltages, source_values=source_values)
         try:
             solution = np.linalg.solve(system.matrix, system.rhs)
         except np.linalg.LinAlgError as error:
@@ -81,7 +84,7 @@ def solve_dc(
             f"{max_iterations} iterations"
         )
 
-    system = stamper.assemble(voltages=voltages)
+    system = stamper.assemble(voltages=voltages, source_values=source_values)
     solution = np.linalg.solve(system.matrix, system.rhs)
     node_voltages = {
         name: float(solution[index]) for name, index in stamper.node_index.items()

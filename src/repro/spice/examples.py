@@ -1,0 +1,79 @@
+"""Canonical example testbenches for the SPICE substrate.
+
+Small, well-understood netlists used as shared fixtures by the equivalence
+tests, the perf benchmarks and the documentation — one definition, so the
+circuits the benchmarks time are guaranteed to be the circuits the
+equivalence suite checks.
+"""
+
+from __future__ import annotations
+
+from repro.spice.mosfet import MosfetModel, nmos_28nm, pmos_28nm
+from repro.spice.netlist import (
+    Capacitor,
+    Circuit,
+    GROUND,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+
+
+def common_source_amplifier(vth_shift: float = 0.0) -> Circuit:
+    """Resistor-loaded NMOS common-source stage (one nonlinear device).
+
+    The workhorse for scalar-vs-batched DC comparisons: the drain voltage
+    is strongly sensitive to ``vth_shift``, so per-sample threshold
+    mismatch moves the operating point visibly.
+    """
+    circuit = Circuit("common_source")
+    circuit.add(VoltageSource("VDD", "vdd", GROUND, 0.9))
+    circuit.add(VoltageSource("VG", "gate", GROUND, 0.45))
+    circuit.add(Resistor("RD", "vdd", "drain", 50e3))
+    circuit.add(
+        Mosfet(
+            "M1",
+            "drain",
+            "gate",
+            GROUND,
+            MosfetModel(2e-6, 100e-9, nmos_28nm()),
+            vth_shift=vth_shift,
+        )
+    )
+    return circuit
+
+
+def loaded_cmos_inverter(vth_shift: float = 0.0) -> Circuit:
+    """CMOS inverter with output cap + bleed resistor (transient testbench).
+
+    ``vth_shift`` perturbs the NMOS pull-down, which skews both the static
+    switching threshold and the falling-edge delay.
+    """
+    circuit = Circuit("loaded_inverter")
+    circuit.add(VoltageSource("VDD", "vdd", GROUND, 0.9))
+    circuit.add(VoltageSource("VIN", "in", GROUND, 0.0))
+    circuit.add(
+        Mosfet(
+            "MN",
+            "out",
+            "in",
+            GROUND,
+            MosfetModel(1e-6, 60e-9, nmos_28nm()),
+            vth_shift=vth_shift,
+        )
+    )
+    circuit.add(
+        Mosfet("MP", "out", "in", "vdd", MosfetModel(2e-6, 60e-9, pmos_28nm()))
+    )
+    circuit.add(Capacitor("CL", "out", GROUND, 10e-15))
+    circuit.add(Resistor("RL", "out", GROUND, 10e6))
+    return circuit
+
+
+def rc_lowpass(resistance: float = 1e3, capacitance: float = 1e-9) -> Circuit:
+    """Driven RC low-pass: the linear transient reference (tau = R*C)."""
+    circuit = Circuit("rc_lowpass")
+    circuit.add(VoltageSource("VIN", "in", GROUND, 1.0))
+    circuit.add(Resistor("R1", "in", "out", resistance))
+    circuit.add(Capacitor("C1", "out", GROUND, capacitance))
+    return circuit

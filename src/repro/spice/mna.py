@@ -88,6 +88,26 @@ class MNAStamper:
         if minus is not None:
             rhs[minus] -= current
 
+    def _stamp_voltage_source_rows(
+        self, matrix: np.ndarray, element: VoltageSource
+    ) -> int:
+        """Stamp a source's +/-1 row/column pattern; returns its MNA row.
+
+        The source *value* goes into the RHS separately (it may be a
+        time-varying override), so both the scalar and the batched engines
+        share this matrix-side stamp.
+        """
+        row = self.num_nodes + self.source_index[element.name]
+        plus = self._idx(element.node_plus)
+        minus = self._idx(element.node_minus)
+        if plus is not None:
+            matrix[row, plus] += 1.0
+            matrix[plus, row] += 1.0
+        if minus is not None:
+            matrix[row, minus] -= 1.0
+            matrix[minus, row] -= 1.0
+        return row
+
     def _stamp_vccs(
         self,
         matrix: np.ndarray,
@@ -115,6 +135,7 @@ class MNAStamper:
         voltages: Optional[np.ndarray] = None,
         capacitor_conductance: float = 0.0,
         capacitor_history: Optional[Dict[str, float]] = None,
+        source_values: Optional[Dict[str, float]] = None,
     ) -> MNASystem:
         """Assemble the MNA system.
 
@@ -130,6 +151,10 @@ class MNAStamper:
         capacitor_history:
             Companion current sources per capacitor (``g * v_previous``) for
             transient backward-Euler steps.
+        source_values:
+            Per-source voltage overrides (time-varying drives); sources not
+            listed use their netlist value.  Overrides keep transient
+            analysis from mutating the circuit's source elements.
         """
         size = self.num_nodes + self.num_sources
         matrix = np.zeros((size, size))
@@ -169,16 +194,11 @@ class MNAStamper:
                     element.gm,
                 )
             elif isinstance(element, VoltageSource):
-                row = self.num_nodes + self.source_index[element.name]
-                plus = self._idx(element.node_plus)
-                minus = self._idx(element.node_minus)
-                if plus is not None:
-                    matrix[row, plus] += 1.0
-                    matrix[plus, row] += 1.0
-                if minus is not None:
-                    matrix[row, minus] -= 1.0
-                    matrix[minus, row] -= 1.0
-                rhs[row] += element.voltage
+                row = self._stamp_voltage_source_rows(matrix, element)
+                value = element.voltage
+                if source_values is not None and element.name in source_values:
+                    value = source_values[element.name]
+                rhs[row] += value
             elif isinstance(element, Mosfet):
                 self._stamp_mosfet(matrix, rhs, element, voltages)
             else:  # pragma: no cover - future element types

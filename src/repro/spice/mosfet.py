@@ -120,6 +120,25 @@ class MosfetOperatingPoint:
     region: str
 
 
+@dataclass(frozen=True)
+class BatchedOperatingPoint:
+    """Array-valued bias point: every field broadcasts over the batch axis.
+
+    Produced by :meth:`MosfetModel.batch_operating_point`; unlike the scalar
+    :class:`MosfetOperatingPoint` it carries no ``region`` label (region
+    classification is a reporting aid, not something the stamping or the
+    behavioural models consume on the hot path).
+    """
+
+    ids: np.ndarray
+    gm: np.ndarray
+    gds: np.ndarray
+    vgs: np.ndarray
+    vds: np.ndarray
+    vth: np.ndarray
+    vov: np.ndarray
+
+
 class MosfetModel:
     """A sized MOSFET instance with environment- and mismatch-aware evaluation.
 
@@ -151,17 +170,15 @@ class MosfetModel:
     # ------------------------------------------------------------------
     # Environment handling
     # ------------------------------------------------------------------
-    def effective_parameters(
-        self,
-        corner: Optional[PVTCorner] = None,
-        vth_shift: float = 0.0,
-        beta_error: float = 0.0,
-    ) -> MosfetParameters:
-        """Apply corner skew, temperature, and mismatch to the parameter set.
+    def effective_vth_mu(self, corner=None, vth_shift=0.0, beta_error=0.0):
+        """Effective ``(vth, mu_cox)`` after corner, temperature and mismatch.
 
-        ``vth_shift`` is an additive threshold error (V) and ``beta_error`` a
-        relative current-factor error, i.e. the two mismatch quantities
-        produced by :class:`repro.variation.MismatchModel`.
+        Ufunc-style: ``vth_shift`` and ``beta_error`` may be scalars or arrays
+        (e.g. one entry per Monte-Carlo sample), and ``corner`` may be a
+        scalar :class:`PVTCorner` or an array-valued corner batch; the result
+        broadcasts accordingly.  This is the single source of truth for the
+        environment handling — the scalar :meth:`effective_parameters` and the
+        batched evaluation paths both route through it.
         """
         params = self.parameters
         vth = params.vth0
@@ -179,8 +196,23 @@ class MosfetModel:
             mu_cox = mu_cox * t_ratio ** (-params.mobility_temp_exponent)
         vth = vth + vth_shift
         mu_cox = mu_cox * (1.0 + beta_error)
-        mu_cox = max(mu_cox, 1e-9)
-        return replace(params, vth0=vth, mu_cox=mu_cox)
+        mu_cox = np.maximum(mu_cox, 1e-9)
+        return vth, mu_cox
+
+    def effective_parameters(
+        self,
+        corner: Optional[PVTCorner] = None,
+        vth_shift: float = 0.0,
+        beta_error: float = 0.0,
+    ) -> MosfetParameters:
+        """Apply corner skew, temperature, and mismatch to the parameter set.
+
+        ``vth_shift`` is an additive threshold error (V) and ``beta_error`` a
+        relative current-factor error, i.e. the two mismatch quantities
+        produced by :class:`repro.variation.MismatchModel`.
+        """
+        vth, mu_cox = self.effective_vth_mu(corner, vth_shift, beta_error)
+        return replace(self.parameters, vth0=float(vth), mu_cox=float(mu_cox))
 
     # ------------------------------------------------------------------
     # Current and small-signal evaluation
@@ -198,8 +230,13 @@ class MosfetModel:
         The caller is expected to hand in magnitudes for PMOS devices (source
         referenced), which keeps the model polarity-agnostic.
         """
-        params = self.effective_parameters(corner, vth_shift, beta_error)
-        return self._ids(vgs, vds, params, corner)
+        return float(self.batch_drain_current(vgs, vds, corner, vth_shift, beta_error))
+
+    def batch_drain_current(self, vgs, vds, corner=None, vth_shift=0.0, beta_error=0.0):
+        """Ufunc-style drain current: all bias/mismatch inputs may be arrays."""
+        vth, mu_cox = self.effective_vth_mu(corner, vth_shift, beta_error)
+        temperature_k = 300.15 if corner is None else corner.temperature_kelvin
+        return self._ids_core(vgs, vds, vth, mu_cox, temperature_k)
 
     def operating_point(
         self,
@@ -210,27 +247,53 @@ class MosfetModel:
         beta_error: float = 0.0,
     ) -> MosfetOperatingPoint:
         """Bias point with numerically differentiated gm and gds."""
-        params = self.effective_parameters(corner, vth_shift, beta_error)
-        ids = self._ids(vgs, vds, params, corner)
-        delta = 1e-5
-        gm = (self._ids(vgs + delta, vds, params, corner) - ids) / delta
-        gds = (self._ids(vgs, vds + delta, params, corner) - ids) / delta
-        vov = vgs - params.vth0
+        op = self.batch_operating_point(vgs, vds, corner, vth_shift, beta_error)
+        vov = float(op.vov)
+        # Region classification needs only vov and the saturation knee;
+        # _vdsat depends on parameters the environment never modifies, so no
+        # second effective-parameter evaluation is required.
         if vov <= 0:
             region = "subthreshold"
-        elif vds < self._vdsat(vov, params):
+        elif vds < self._vdsat(vov, self.parameters):
             region = "triode"
         else:
             region = "saturation"
         return MosfetOperatingPoint(
-            ids=ids,
-            gm=max(gm, 0.0),
-            gds=max(gds, 1e-15),
+            ids=float(op.ids),
+            gm=float(op.gm),
+            gds=float(op.gds),
             vgs=vgs,
             vds=vds,
-            vth=params.vth0,
+            vth=float(op.vth),
             vov=vov,
             region=region,
+        )
+
+    def batch_operating_point(
+        self, vgs, vds, corner=None, vth_shift=0.0, beta_error=0.0
+    ) -> BatchedOperatingPoint:
+        """Vectorized bias point: every input broadcasts ufunc-style.
+
+        This is the hot path of the batched simulation engine — one call
+        evaluates a device across a whole mismatch/corner batch with no
+        Python-level branching per sample.
+        """
+        vth, mu_cox = self.effective_vth_mu(corner, vth_shift, beta_error)
+        temperature_k = 300.15 if corner is None else corner.temperature_kelvin
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        ids = self._ids_core(vgs, vds, vth, mu_cox, temperature_k)
+        delta = 1e-5
+        gm = (self._ids_core(vgs + delta, vds, vth, mu_cox, temperature_k) - ids) / delta
+        gds = (self._ids_core(vgs, vds + delta, vth, mu_cox, temperature_k) - ids) / delta
+        return BatchedOperatingPoint(
+            ids=ids,
+            gm=np.maximum(gm, 0.0),
+            gds=np.maximum(gds, 1e-15),
+            vgs=vgs,
+            vds=vds,
+            vth=np.asarray(vth, dtype=float),
+            vov=vgs - vth,
         )
 
     def transconductance(
@@ -276,29 +339,41 @@ class MosfetModel:
         params: MosfetParameters,
         corner: Optional[PVTCorner],
     ) -> float:
-        if vds < 0:
-            vds = 0.0
-        width_over_length = self.width / self.length
-        beta = params.mu_cox * width_over_length
-        vov = vgs - params.vth0
         temperature_k = 300.15 if corner is None else corner.temperature_kelvin
+        return float(
+            self._ids_core(vgs, vds, params.vth0, params.mu_cox, temperature_k)
+        )
+
+    def _ids_core(self, vgs, vds, vth, mu_cox, temperature_k):
+        """Ufunc-style drain current: all arguments broadcast elementwise.
+
+        Region selection uses ``np.where`` instead of Python branches so one
+        call covers a whole batch of samples in any mix of subthreshold,
+        triode and saturation.
+        """
+        params = self.parameters
+        vds = np.maximum(np.asarray(vds, dtype=float), 0.0)
+        vov = np.asarray(vgs, dtype=float) - vth
+        beta = mu_cox * (self.width / self.length)
         thermal_voltage = BOLTZMANN * temperature_k / ELECTRON_CHARGE
 
-        if vov <= 0:
-            # Subthreshold: exponential in Vgs, saturating in Vds.
-            i_spec = beta * (params.subthreshold_slope - 0.5) * thermal_voltage**2
-            ids = (
-                i_spec
-                * np.exp(vov / (params.subthreshold_slope * thermal_voltage))
-                * (1.0 - np.exp(-vds / thermal_voltage))
-            )
-            return float(max(ids, 0.0))
+        # Subthreshold: exponential in Vgs, saturating in Vds.  The exponent
+        # is clipped to keep the unselected branch free of overflow warnings.
+        i_spec = beta * (params.subthreshold_slope - 0.5) * thermal_voltage**2
+        exponent = np.minimum(
+            vov / (params.subthreshold_slope * thermal_voltage), 60.0
+        )
+        i_sub = i_spec * np.exp(exponent) * (1.0 - np.exp(-vds / thermal_voltage))
 
-        vdsat = self._vdsat(vov, params)
+        # Strong inversion: velocity-saturated square law with CLM.
         length_um = self.length * 1e6
+        v_crit = params.v_sat_effect * max(length_um, 1e-3)
+        vdsat = np.where(
+            vov > 0, vov * v_crit / np.maximum(vov + v_crit, 1e-12), 0.0
+        )
         lam = params.lambda_per_um / max(length_um, 1e-3)
-        if vds >= vdsat:
-            ids = 0.5 * beta * vov * vdsat * (1.0 + lam * (vds - vdsat))
-        else:
-            ids = beta * (vov - 0.5 * vds) * vds
-        return float(max(ids, 0.0))
+        i_sat = 0.5 * beta * vov * vdsat * (1.0 + lam * (vds - vdsat))
+        i_tri = beta * (vov - 0.5 * vds) * vds
+
+        ids = np.where(vov <= 0, i_sub, np.where(vds >= vdsat, i_sat, i_tri))
+        return np.maximum(ids, 0.0)

@@ -4,32 +4,49 @@ Capacitors are replaced per time step with their backward-Euler companion
 model (a conductance ``C/dt`` in parallel with a history current source
 ``(C/dt) * v_previous``); nonlinear devices are re-linearised with a short
 Newton loop inside each step.
+
+Waveforms are stored as one ``(n_nodes, n_steps + 1)`` array written in
+place during the step loop (no per-node dict copies), and time-varying
+sources are applied as per-step *overrides* — the circuit's
+:class:`~repro.spice.netlist.VoltageSource` elements are never mutated, so a
+transient run leaves the netlist exactly as it found it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from repro.spice.dc import ConvergenceError, solve_dc
 from repro.spice.mna import MNAStamper
-from repro.spice.netlist import Capacitor, Circuit, GROUND, VoltageSource
+from repro.spice.netlist import Capacitor, Circuit, GROUND
 from repro.variation.corners import PVTCorner
 
 
 @dataclass
 class TransientResult:
-    """Time-domain waveforms for every node in the circuit."""
+    """Time-domain waveforms for every node in the circuit.
+
+    ``data`` holds all waveforms as a single ``(n_nodes, n_steps + 1)``
+    array; ``node_index`` maps node names to rows.  ``voltage`` returns a
+    row view, so no copies are made on access.
+    """
 
     times: np.ndarray
-    waveforms: Dict[str, np.ndarray]
+    data: np.ndarray
+    node_index: Dict[str, int]
+
+    @property
+    def waveforms(self) -> Dict[str, np.ndarray]:
+        """Per-node view of ``data`` (rows, not copies), for compatibility."""
+        return {name: self.data[row] for name, row in self.node_index.items()}
 
     def voltage(self, node: str) -> np.ndarray:
         if node == GROUND:
             return np.zeros_like(self.times)
-        return self.waveforms[node]
+        return self.data[self.node_index[node]]
 
     def final_voltage(self, node: str) -> float:
         return float(self.voltage(node)[-1])
@@ -37,22 +54,55 @@ class TransientResult:
     def crossing_time(self, node: str, threshold: float, rising: bool = True) -> Optional[float]:
         """First time the node waveform crosses ``threshold`` (linear interp)."""
         wave = self.voltage(node)
-        for index in range(1, len(wave)):
-            previous, current = wave[index - 1], wave[index]
-            crossed = (
-                previous < threshold <= current
-                if rising
-                else previous > threshold >= current
-            )
-            if crossed:
-                if current == previous:
-                    return float(self.times[index])
-                fraction = (threshold - previous) / (current - previous)
-                return float(
-                    self.times[index - 1]
-                    + fraction * (self.times[index] - self.times[index - 1])
-                )
-        return None
+        crossing = _first_crossing(self.times, wave[None, :], threshold, rising)[0]
+        return None if np.isnan(crossing) else float(crossing)
+
+
+def sample_source_waveforms(
+    source_waveforms: Dict[str, Callable[[float], float]], time_now: float
+) -> Dict[str, float]:
+    """Evaluate every waveform at ``time_now`` into stamping overrides."""
+    return {
+        name: float(waveform(time_now))
+        for name, waveform in source_waveforms.items()
+    }
+
+
+def _first_crossing(
+    times: np.ndarray, waves: np.ndarray, threshold: float, rising: bool
+) -> np.ndarray:
+    """Vectorized first-crossing with linear interpolation.
+
+    ``waves`` is ``(B, n_steps + 1)``; returns ``(B,)`` crossing times with
+    ``NaN`` where a waveform never crosses.
+    """
+    previous = waves[:, :-1]
+    current = waves[:, 1:]
+    if rising:
+        crossed = (previous < threshold) & (threshold <= current)
+    else:
+        crossed = (previous > threshold) & (threshold >= current)
+
+    result = np.full(waves.shape[0], np.nan)
+    any_crossing = crossed.any(axis=1)
+    if not np.any(any_crossing):
+        return result
+
+    rows = np.flatnonzero(any_crossing)
+    first = np.argmax(crossed[rows], axis=1)
+    prev_v = previous[rows, first]
+    curr_v = current[rows, first]
+    t_prev = times[first]
+    t_curr = times[first + 1]
+    step = curr_v - prev_v
+    with np.errstate(divide="ignore", invalid="ignore"):
+        fraction = np.where(step != 0.0, (threshold - prev_v) / step, 0.0)
+    # A flat segment "crosses" at the segment's end, matching the scalar
+    # semantics the per-index loop used to implement.
+    result[rows] = np.where(
+        step == 0.0, t_curr, t_prev + fraction * (t_curr - t_prev)
+    )
+    return result
 
 
 def solve_transient(
@@ -74,19 +124,20 @@ def solve_transient(
         the circuit with sources at their t=0 values.
     source_waveforms:
         Optional map from voltage-source name to a callable ``v(t)``; sources
-        not listed keep their DC value.
+        not listed keep their DC value.  The waveform values are applied as
+        per-step stamping overrides — the circuit's source elements are
+        never modified.
     """
     if stop_time <= 0 or time_step <= 0:
         raise ValueError("stop_time and time_step must be positive")
     source_waveforms = source_waveforms or {}
 
-    # Apply t=0 source values before computing the starting point.
-    for source in circuit.voltage_sources():
-        if source.name in source_waveforms:
-            source.voltage = float(source_waveforms[source.name](0.0))
-
     if initial_conditions is None:
-        start = solve_dc(circuit, corner)
+        start = solve_dc(
+            circuit,
+            corner,
+            source_values=sample_source_waveforms(source_waveforms, 0.0),
+        )
         node_state = dict(start.voltages)
     else:
         node_state = {name: 0.0 for name in circuit.node_names()}
@@ -98,18 +149,14 @@ def solve_transient(
     steps = int(np.ceil(stop_time / time_step))
     times = np.linspace(0.0, steps * time_step, steps + 1)
 
-    waveforms = {name: np.zeros(steps + 1) for name in node_names}
-    for name in node_names:
-        waveforms[name][0] = node_state.get(name, 0.0)
-
+    data = np.zeros((num_nodes, steps + 1))
     voltages = np.array([node_state.get(name, 0.0) for name in node_names])
+    data[:, 0] = voltages
     conductance_scale = 1.0 / time_step
 
     for step in range(1, steps + 1):
         time_now = times[step]
-        for source in circuit.voltage_sources():
-            if source.name in source_waveforms:
-                source.voltage = float(source_waveforms[source.name](time_now))
+        source_values = sample_source_waveforms(source_waveforms, time_now)
 
         history: Dict[str, float] = {}
         for capacitor in circuit.capacitors():
@@ -124,6 +171,7 @@ def solve_transient(
                 voltages=iterate,
                 capacitor_conductance=conductance_scale,
                 capacitor_history=history,
+                source_values=source_values,
             )
             try:
                 solution = np.linalg.solve(system.matrix, system.rhs)
@@ -137,10 +185,9 @@ def solve_transient(
                 break
             iterate = new_iterate
         voltages = iterate
-        for name in node_names:
-            waveforms[name][step] = voltages[stamper.node_index[name]]
+        data[:, step] = voltages
 
-    return TransientResult(times, waveforms)
+    return TransientResult(times, data, dict(stamper.node_index))
 
 
 def _voltage_across(

@@ -23,6 +23,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 
 class ProcessCorner(enum.Enum):
     """Global process corner labels used in corner simulation."""
@@ -116,6 +118,65 @@ class PVTCorner:
 
     def __str__(self) -> str:  # pragma: no cover - convenience only
         return self.name
+
+
+@dataclass(frozen=True)
+class ProcessBatch:
+    """Array-valued process-corner parameters (one entry per batch element)."""
+
+    nmos_vth_shift: np.ndarray
+    pmos_vth_shift: np.ndarray
+    nmos_mobility_scale: np.ndarray
+    pmos_mobility_scale: np.ndarray
+
+
+@dataclass(frozen=True)
+class CornerBatch:
+    """A batch of PVT conditions exposed through array-valued attributes.
+
+    Drop-in for :class:`PVTCorner` wherever the consumer only performs
+    ufunc-style arithmetic (the vectorized MOSFET model and the batched
+    circuit evaluation): ``vdd``, ``temperature`` and the ``process`` shifts
+    are 1-D arrays that broadcast against per-sample mismatch arrays, so a
+    single evaluation pass covers a whole corner sweep.
+    """
+
+    corners: Tuple[PVTCorner, ...]
+    process: ProcessBatch
+    vdd: np.ndarray
+    temperature: np.ndarray
+
+    @classmethod
+    def from_corners(cls, corners: Iterable[PVTCorner]) -> "CornerBatch":
+        corners = tuple(corners)
+        if not corners:
+            raise ValueError("a CornerBatch needs at least one corner")
+        process = ProcessBatch(
+            nmos_vth_shift=np.array([c.process.nmos_vth_shift for c in corners]),
+            pmos_vth_shift=np.array([c.process.pmos_vth_shift for c in corners]),
+            nmos_mobility_scale=np.array(
+                [c.process.nmos_mobility_scale for c in corners]
+            ),
+            pmos_mobility_scale=np.array(
+                [c.process.pmos_mobility_scale for c in corners]
+            ),
+        )
+        return cls(
+            corners=corners,
+            process=process,
+            vdd=np.array([c.vdd for c in corners]),
+            temperature=np.array([c.temperature for c in corners]),
+        )
+
+    def __len__(self) -> int:
+        return len(self.corners)
+
+    def __iter__(self) -> Iterator[PVTCorner]:
+        return iter(self.corners)
+
+    @property
+    def temperature_kelvin(self) -> np.ndarray:
+        return self.temperature + 273.15
 
 
 class CornerSet:

@@ -203,46 +203,47 @@ class MismatchModel:
 
     def local_covariance(self, x_physical: np.ndarray) -> np.ndarray:
         """Diagonal ``Sigma_Local(x)`` evaluated at a physical sizing vector."""
-        variances = np.empty(self.dimension)
+        return np.diag(self.local_sigmas(x_physical) ** 2)
+
+    def global_covariance(self, x_physical: np.ndarray) -> np.ndarray:
+        """Diagonal ``Sigma_Global(x)`` (die-to-die spread per parameter)."""
+        return np.diag(self.global_sigmas(x_physical) ** 2)
+
+    def local_sigmas(self, x_physical: np.ndarray) -> np.ndarray:
+        """Vector of per-parameter local standard deviations."""
+        sigmas = np.empty(self.dimension)
         cursor = 0
         for device in self._devices:
             scale = 1.0 / np.sqrt(device.multiplicity)
             if device.kind is DeviceKind.CAPACITOR:
                 cap = float(device.cap_of(x_physical))
-                sigma = self._coefficients.local_sigma_cap(cap) * scale
-                variances[cursor] = sigma**2
+                sigmas[cursor] = self._coefficients.local_sigma_cap(cap) * scale
                 cursor += 1
             else:
                 width = float(device.width_of(x_physical))
                 length = float(device.length_of(x_physical))
-                sigma_vth = self._coefficients.local_sigma_vth(width, length) * scale
-                sigma_beta = self._coefficients.local_sigma_beta(width, length) * scale
-                variances[cursor] = sigma_vth**2
-                variances[cursor + 1] = sigma_beta**2
+                sigmas[cursor] = (
+                    self._coefficients.local_sigma_vth(width, length) * scale
+                )
+                sigmas[cursor + 1] = (
+                    self._coefficients.local_sigma_beta(width, length) * scale
+                )
                 cursor += 2
-        return np.diag(variances)
-
-    def global_covariance(self, x_physical: np.ndarray) -> np.ndarray:
-        """Diagonal ``Sigma_Global(x)`` (die-to-die spread per parameter)."""
-        variances = np.empty(self.dimension)
-        cursor = 0
-        for device in self._devices:
-            if device.kind is DeviceKind.CAPACITOR:
-                variances[cursor] = self._coefficients.global_sigma_cap**2
-                cursor += 1
-            else:
-                variances[cursor] = self._coefficients.global_sigma_vth**2
-                variances[cursor + 1] = self._coefficients.global_sigma_beta**2
-                cursor += 2
-        return np.diag(variances)
-
-    def local_sigmas(self, x_physical: np.ndarray) -> np.ndarray:
-        """Vector of per-parameter local standard deviations."""
-        return np.sqrt(np.diag(self.local_covariance(x_physical)))
+        return sigmas
 
     def global_sigmas(self, x_physical: np.ndarray) -> np.ndarray:
         """Vector of per-parameter global standard deviations."""
-        return np.sqrt(np.diag(self.global_covariance(x_physical)))
+        sigmas = np.empty(self.dimension)
+        cursor = 0
+        for device in self._devices:
+            if device.kind is DeviceKind.CAPACITOR:
+                sigmas[cursor] = self._coefficients.global_sigma_cap
+                cursor += 1
+            else:
+                sigmas[cursor] = self._coefficients.global_sigma_vth
+                sigmas[cursor + 1] = self._coefficients.global_sigma_beta
+                cursor += 2
+        return sigmas
 
     def global_groups(self) -> List[str]:
         """Group label per mismatch parameter for die-level correlation.
@@ -262,6 +263,28 @@ class MismatchModel:
                 groups.append(f"{device.kind.value}.vth")
                 groups.append(f"{device.kind.value}.beta")
         return groups
+
+    def as_batch_device_view(
+        self, h_matrix: np.ndarray
+    ) -> Dict[str, Dict[str, np.ndarray]]:
+        """Unpack a ``(B, r)`` mismatch matrix into per-device column views.
+
+        The returned arrays are views into ``h_matrix`` (no copies), shaped
+        ``(B,)`` — the batched circuit models broadcast them directly against
+        corner and bias arrays.
+        """
+        h_matrix = np.asarray(h_matrix, dtype=float)
+        if h_matrix.ndim != 2 or h_matrix.shape[1] != self.dimension:
+            raise ValueError(
+                f"expected mismatch matrix of shape (B, {self.dimension}), "
+                f"got {h_matrix.shape}"
+            )
+        view: Dict[str, Dict[str, np.ndarray]] = {}
+        for parameter in self._parameters:
+            view.setdefault(parameter.device, {})[parameter.quantity] = h_matrix[
+                :, parameter.index
+            ]
+        return view
 
     def as_device_view(self, h: np.ndarray) -> Dict[str, Dict[str, float]]:
         """Unpack a mismatch vector into ``{device: {quantity: value}}``."""

@@ -85,6 +85,14 @@ class MismatchSampler:
         self._include_global = bool(include_global)
         self._include_local = bool(include_local)
         self._rng = rng if rng is not None else np.random.default_rng()
+        # Precompute the die-level correlation structure once: one standard
+        # normal is drawn per unique group (first-occurrence order) and
+        # broadcast to every parameter carrying that label.
+        groups = model.global_groups()
+        unique = list(dict.fromkeys(groups))
+        position = {group: index for index, group in enumerate(unique)}
+        self._num_groups = len(unique)
+        self._group_inverse = np.array([position[group] for group in groups])
 
     @property
     def model(self) -> MismatchModel:
@@ -137,9 +145,13 @@ class MismatchSampler:
             return MismatchSet(np.zeros((count, dimension)), zero)
 
         if independent_globals and self._include_global and global_shift is None:
-            shifts = np.stack(
-                [self.sample_global_shift(x_physical) for _ in range(count)]
-            )
+            # One die per sample: a (count, n_groups) block of standard
+            # normals broadcast through the group map in a single pass (the
+            # row-major draw order matches the former per-sample loop, so
+            # seeded streams are unchanged).
+            global_sigma = self._model.global_sigmas(x_physical)
+            draws = self._rng.standard_normal((count, self._num_groups))
+            shifts = draws[:, self._group_inverse] * global_sigma
         else:
             if global_shift is None:
                 global_shift = self.sample_global_shift(x_physical)
@@ -158,10 +170,7 @@ class MismatchSampler:
             samples = shifts + noise
         else:
             samples = shifts
-        representative_shift = (
-            shifts[0] if independent_globals and global_shift is None else shifts[0]
-        )
-        return MismatchSet(samples, representative_shift)
+        return MismatchSet(samples, shifts[0])
 
     def sample_global_shift(self, x_physical: np.ndarray) -> np.ndarray:
         """Draw the die-level shift ``h^(1)`` (zero if global is disabled).
@@ -175,12 +184,8 @@ class MismatchSampler:
         if not self._include_global:
             return np.zeros(dimension)
         global_sigma = self._model.global_sigmas(np.asarray(x_physical, dtype=float))
-        groups = self._model.global_groups()
-        draw_per_group = {
-            group: self._rng.standard_normal() for group in dict.fromkeys(groups)
-        }
-        draws = np.array([draw_per_group[group] for group in groups])
-        return draws * global_sigma
+        draws = self._rng.standard_normal(self._num_groups)
+        return draws[self._group_inverse] * global_sigma
 
     def nominal(self) -> MismatchSet:
         """The single zero-mismatch condition used by corner-only simulation."""
