@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
 import re
 from typing import Dict, List, Sequence
 
@@ -58,14 +60,37 @@ def run_table2_block(
     return block
 
 
+def environment_metadata() -> dict:
+    """Library versions and host facts stamped into every benchmark record.
+
+    Wall-clock numbers are only comparable across PRs when the BLAS/LAPACK
+    stack and the host are known; this makes every ``BENCH_*.json``
+    self-describing.
+    """
+    import numpy
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def write_bench_json(name: str, payload: dict) -> pathlib.Path:
     """Persist a machine-readable benchmark record under benchmarks/results/.
 
     Perf benchmarks use this to track wall-clock trajectories across PRs
     (e.g. ``BENCH_batched_engine.json``); the file is rewritten on every run
-    so the latest numbers are always a plain ``git diff`` away.
+    so the latest numbers are always a plain ``git diff`` away.  Every record
+    carries :func:`environment_metadata` under the ``environment`` key.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault("environment", environment_metadata())
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

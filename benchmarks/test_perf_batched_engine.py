@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 
 import numpy as np
+import pytest
 
 from harness import write_bench_json
 from repro.circuits import DramCoreSenseAmp, FloatingInverterAmplifier, StrongArmLatch
@@ -115,6 +116,7 @@ def _mna_timings() -> dict:
     }
 
 
+@pytest.mark.perf
 def test_batched_engine_speedup_and_equivalence():
     report = {
         "description": (

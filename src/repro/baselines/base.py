@@ -53,7 +53,9 @@ class BaselineOptimizer(abc.ABC):
             optimization_parallelism=self.config.optimization_parallelism,
             verification_parallelism=self.config.verification_parallelism,
         )
-        self.simulator = CircuitSimulator(circuit, self.budget)
+        self.simulator = CircuitSimulator(
+            circuit, self.budget, workers=self.operational.workers
+        )
         self.last_worst = LastWorstCaseBuffer(self.operational.corners)
         self.mismatch_sampler = MismatchSampler(
             circuit.mismatch_model,
@@ -78,6 +80,16 @@ class BaselineOptimizer(abc.ABC):
         """Execute the baseline's optimization loop."""
 
     # ------------------------------------------------------------------
+    def _worst_from_records(self, corner: PVTCorner, records) -> float:
+        """Worst reward of one corner's records; updates the worst-case buffer."""
+        rewards = rewards_from_matrix(
+            self.spec,
+            self.simulator.metrics_matrix(records, self.spec.metric_names),
+        )
+        worst = float(rewards.min())
+        self.last_worst.update(corner, worst)
+        return worst
+
     def evaluate_at_corner(
         self,
         design: np.ndarray,
@@ -92,12 +104,7 @@ class BaselineOptimizer(abc.ABC):
         records = self.simulator.simulate_mismatch_set(
             design, corner, mismatch_set, phase=phase
         )
-        rewards = rewards_from_matrix(
-            self.spec,
-            self.simulator.metrics_matrix(records, self.spec.metric_names),
-        )
-        worst = float(rewards.min())
-        self.last_worst.update(corner, worst)
+        worst = self._worst_from_records(corner, records)
         return worst, [record.metrics for record in records]
 
     def evaluate_all_corners(
@@ -105,12 +112,28 @@ class BaselineOptimizer(abc.ABC):
         design: np.ndarray,
         phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
     ) -> Dict[str, float]:
-        """Simulate a design at every predefined corner; return worst rewards."""
-        worst_by_corner: Dict[str, float] = {}
-        for corner in self.operational.corners:
-            worst, _ = self.evaluate_at_corner(design, corner, phase)
-            worst_by_corner[corner.name] = worst
-        return worst_by_corner
+        """Simulate a design at every predefined corner; return worst rewards.
+
+        The corners × mismatch-sets sweep runs as one mega-batch through
+        :meth:`CircuitSimulator.simulate_corner_sweep`; the mismatch sets
+        are drawn corner-by-corner first, so the seeded stream matches the
+        sequential per-corner schedule exactly.
+        """
+        corners = list(self.operational.corners)
+        x_physical = self.circuit.denormalize(design)
+        mismatch_sets = [
+            self.mismatch_sampler.sample(
+                x_physical, self.operational.optimization_samples
+            )
+            for _ in corners
+        ]
+        per_corner = self.simulator.simulate_corner_sweep(
+            design, corners, mismatch_sets, phase=phase
+        )
+        return {
+            corner.name: self._worst_from_records(corner, records)
+            for corner, records in zip(corners, per_corner)
+        }
 
     def brute_force_verify(self, design: np.ndarray) -> bool:
         """Full verification without mu-sigma screening or reordering."""
@@ -120,6 +143,14 @@ class BaselineOptimizer(abc.ABC):
     def typical_reward(self, design: np.ndarray) -> float:
         record = self.simulator.simulate_typical(design)
         return reward_from_metrics(self.spec, record.metrics)
+
+    def typical_rewards_batch(self, designs: np.ndarray) -> np.ndarray:
+        """Rewards for a whole design batch at typical, in one pass."""
+        records = self.simulator.simulate_designs(designs)
+        return rewards_from_matrix(
+            self.spec,
+            self.simulator.metrics_matrix(records, self.spec.metric_names),
+        )
 
     # ------------------------------------------------------------------
     def build_result(

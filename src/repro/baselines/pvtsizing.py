@@ -56,6 +56,7 @@ class PVTSizingOptimizer(BaselineOptimizer):
             lambda design: self.typical_reward(design),
             max_evaluations=self.config.initial_samples,
             feasible_target=self.config.initial_feasible_target,
+            objective_batch=self.typical_rewards_batch,
         )
         for design, reward in zip(turbo.designs, turbo.rewards):
             self.agent.observe(design, reward)

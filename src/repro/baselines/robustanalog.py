@@ -76,12 +76,23 @@ class RobustAnalogOptimizer(BaselineOptimizer):
 
     # ------------------------------------------------------------------
     def _random_initial_sampling(self) -> np.ndarray:
-        """Uniform random sampling at the typical condition (no TuRBO)."""
+        """Uniform random sampling at the typical condition (no TuRBO).
+
+        The whole population is drawn first (the rng call order matches the
+        sequential draw-evaluate loop exactly, since evaluation consumes no
+        randomness) and evaluated in one design-batched pass.
+        """
         best_design = self.circuit.random_sizing(self.rng)
         best_reward = -np.inf
-        for _ in range(self.random_initial_samples):
-            design = self.circuit.random_sizing(self.rng)
-            reward = self.typical_reward(design)
+        designs = [
+            self.circuit.random_sizing(self.rng)
+            for _ in range(self.random_initial_samples)
+        ]
+        if not designs:
+            return best_design
+        rewards = self.typical_rewards_batch(np.stack(designs))
+        for design, reward in zip(designs, rewards):
+            reward = float(reward)
             self.agent.observe(design, reward)
             if reward > best_reward:
                 best_reward = reward

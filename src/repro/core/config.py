@@ -64,6 +64,17 @@ class OperationalConfig:
     corners:
         The predefined corner set ``T`` (30 PVT corners, or 6 VT corners for
         the global-local MC scenario where the process axis is statistical).
+    verification_chunk:
+        Full-MC simulations issued per batched evaluation during the
+        verification pass.  Chunks are scanned in h-SCORE order for the
+        first infeasible reward, so the pass/fail outcome and the failed
+        corner match the one-at-a-time schedule exactly; the budget charges
+        the simulated prefix rounded up to the chunk (at most
+        ``verification_chunk - 1`` extra simulations past the first
+        failure).  ``1`` reproduces the strictly sequential schedule.
+    workers:
+        Process count for sharding batched evaluations across a
+        ``ProcessPoolExecutor``; ``1`` (the default) stays in-process.
     """
 
     method: VerificationMethod
@@ -72,6 +83,8 @@ class OperationalConfig:
     optimization_samples: int
     verification_samples: int
     corners: CornerSet
+    verification_chunk: int = 8
+    workers: int = 1
 
     @property
     def total_verification_simulations(self) -> int:
@@ -83,12 +96,18 @@ class OperationalConfig:
             raise ValueError("optimization_samples (N') must be >= 1")
         if self.verification_samples < self.optimization_samples:
             raise ValueError("verification_samples (N) must be >= N'")
+        if self.verification_chunk < 1:
+            raise ValueError("verification_chunk must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
 
 def operational_config(
     method: VerificationMethod,
     optimization_samples: int = 3,
     verification_samples: Optional[int] = None,
+    verification_chunk: int = 8,
+    workers: int = 1,
 ) -> OperationalConfig:
     """Build the Table-I operational configuration for ``method``.
 
@@ -106,6 +125,8 @@ def operational_config(
             optimization_samples=1,
             verification_samples=1,
             corners=full_corner_set(),
+            verification_chunk=verification_chunk,
+            workers=workers,
         )
     if method is VerificationMethod.CORNER_LOCAL_MC:
         return OperationalConfig(
@@ -115,6 +136,8 @@ def operational_config(
             optimization_samples=optimization_samples,
             verification_samples=verification_samples,
             corners=full_corner_set(),
+            verification_chunk=verification_chunk,
+            workers=workers,
         )
     return OperationalConfig(
         method=method,
@@ -123,6 +146,8 @@ def operational_config(
         optimization_samples=optimization_samples,
         verification_samples=verification_samples,
         corners=vt_corner_set(),
+        verification_chunk=verification_chunk,
+        workers=workers,
     )
 
 
@@ -139,6 +164,11 @@ class GlovaConfig:
     # --- sampling -----------------------------------------------------
     optimization_samples: int = 3
     verification_samples: Optional[int] = None
+    # Full-MC verification chunk: simulations issued per batched evaluation
+    # during pass 2 of Algorithm 2 (1 = strictly sequential schedule).
+    verification_chunk: int = 8
+    # Process count for sharding batched evaluations (1 = in-process).
+    workers: int = 1
     # --- risk parameters ----------------------------------------------
     risk_beta1: float = -3.0
     reliability_beta2: float = 4.0
@@ -178,6 +208,8 @@ class GlovaConfig:
             self.verification,
             optimization_samples=self.optimization_samples,
             verification_samples=self.verification_samples,
+            verification_chunk=self.verification_chunk,
+            workers=self.workers,
         )
 
     def effective_ensemble_size(self) -> int:

@@ -63,7 +63,9 @@ class GlovaOptimizer:
             optimization_parallelism=self.config.optimization_parallelism,
             verification_parallelism=self.config.verification_parallelism,
         )
-        self.simulator = CircuitSimulator(circuit, self.budget)
+        self.simulator = CircuitSimulator(
+            circuit, self.budget, workers=self.operational.workers
+        )
         self.agent = RiskSensitiveAgent(circuit.dimension, self.config, self.rng)
         self.last_worst = LastWorstCaseBuffer(self.operational.corners)
         self.screen_evaluator = MuSigmaEvaluator(
@@ -92,6 +94,14 @@ class GlovaOptimizer:
         record = self.simulator.simulate_typical(design)
         return reward_from_metrics(self.spec, record.metrics)
 
+    def _typical_rewards_batch(self, designs: np.ndarray) -> np.ndarray:
+        """Rewards for a whole design batch at typical, in one pass."""
+        records = self.simulator.simulate_designs(designs)
+        return rewards_from_matrix(
+            self.spec,
+            self.simulator.metrics_matrix(records, self.spec.metric_names),
+        )
+
     def _initial_sampling(self) -> np.ndarray:
         """Run TuRBO at the typical condition; returns the best design."""
         sampler = TurboSampler(
@@ -103,6 +113,7 @@ class GlovaOptimizer:
             self._typical_reward,
             max_evaluations=self.config.initial_samples,
             feasible_target=self.config.initial_feasible_target,
+            objective_batch=self._typical_rewards_batch,
         )
         # Every TuRBO evaluation is information about the reward landscape;
         # store it so the critic starts from a useful prior.  Worst-case
@@ -112,30 +123,43 @@ class GlovaOptimizer:
         return result.best_design
 
     def _seed_buffers(self, designs: List[np.ndarray]) -> None:
-        """Simulate seeds across all corners and fill the worst-case buffers."""
+        """Simulate seeds across all corners and fill the worst-case buffers.
+
+        The corners × mismatch-sets sweep for each seed design runs as one
+        mega-batch (:meth:`CircuitSimulator.simulate_corner_sweep`): the
+        mismatch sets are still drawn corner-by-corner — the seeded stream
+        is identical to a per-corner schedule — but the simulator sees a
+        single ``(|corners| × N',)`` evaluation per seed.
+        """
+        corners = list(self.operational.corners)
+        use_mc = self.operational.include_local or self.operational.include_global
         for design in designs:
             x_physical = self.circuit.denormalize(design)
             worst_reward = FEASIBLE_REWARD
-            for corner in self.operational.corners:
-                if self.operational.include_local or self.operational.include_global:
-                    mismatch_set = self._mismatch_sampler.sample(
+            if use_mc:
+                mismatch_sets = [
+                    self._mismatch_sampler.sample(
                         x_physical, self.operational.optimization_samples
                     )
-                    records = self.simulator.simulate_mismatch_set(
+                    for _ in corners
+                ]
+                per_corner = self.simulator.simulate_corner_sweep(
+                    design,
+                    corners,
+                    mismatch_sets,
+                    phase=SimulationPhase.INITIAL_SAMPLING,
+                )
+            else:
+                per_corner = [
+                    [record]
+                    for record in self.simulator.simulate_corners(
                         design,
-                        corner,
-                        mismatch_set,
+                        self.operational.corners,
+                        None,
                         phase=SimulationPhase.INITIAL_SAMPLING,
                     )
-                else:
-                    records = [
-                        self.simulator.simulate(
-                            design,
-                            corner,
-                            None,
-                            phase=SimulationPhase.INITIAL_SAMPLING,
-                        )
-                    ]
+                ]
+            for corner, records in zip(corners, per_corner):
                 metric_dicts = [r.metrics for r in records]
                 corner_rewards = rewards_from_matrix(
                     self.spec,

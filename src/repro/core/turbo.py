@@ -147,40 +147,55 @@ class TurboSampler:
     # ------------------------------------------------------------------
     def run(
         self,
-        objective: Callable[[np.ndarray], float],
+        objective: Optional[Callable[[np.ndarray], float]],
         max_evaluations: int,
         feasible_target: int = 1,
+        objective_batch: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ) -> TurboResult:
         """Drive the sampler against ``objective`` (reward at typical).
 
         Stops when ``feasible_target`` feasible designs have been found or
         the evaluation budget is exhausted.
+
+        ``objective_batch`` maps an ``(M, p)`` design matrix to ``(M,)``
+        rewards in one call; when provided, every proposal batch (and the
+        space-filling initial design) is evaluated in a single vectorized
+        pass instead of M scalar calls.  Bookkeeping — tell order, trust
+        region updates, the feasibility stop — is identical to the scalar
+        schedule, so a batched run visits exactly the same designs as a
+        scalar run with the same seed.
         """
+        if objective is None and objective_batch is None:
+            raise ValueError("provide objective or objective_batch")
+
+        def evaluate(batch_designs: np.ndarray) -> np.ndarray:
+            if objective_batch is not None:
+                return np.asarray(objective_batch(batch_designs), dtype=float)
+            return np.array([float(objective(design)) for design in batch_designs])
+
         feasible: List[np.ndarray] = []
         evaluations = 0
 
         initial = self.ask_initial()
-        for design in initial:
-            if evaluations >= max_evaluations:
-                break
-            reward = float(objective(design))
-            evaluations += 1
-            self.tell(design[None, :], np.array([reward]))
-            if is_feasible_reward(reward):
-                feasible.append(design.copy())
-        while evaluations < max_evaluations and len(feasible) < feasible_target:
-            batch = self.ask()
-            rewards = []
-            for design in batch:
-                if evaluations >= max_evaluations:
-                    break
-                reward = float(objective(design))
+        initial = initial[: max(0, max_evaluations - evaluations)]
+        if len(initial):
+            rewards = evaluate(initial)
+            for design, reward in zip(initial, rewards):
                 evaluations += 1
-                rewards.append(reward)
+                self.tell(design[None, :], np.array([reward]))
                 if is_feasible_reward(reward):
                     feasible.append(design.copy())
-            if rewards:
-                self.tell(batch[: len(rewards)], np.array(rewards))
+        while evaluations < max_evaluations and len(feasible) < feasible_target:
+            batch = self.ask()
+            batch = batch[: max_evaluations - evaluations]
+            if not len(batch):
+                break
+            rewards = evaluate(batch)
+            evaluations += len(batch)
+            for design, reward in zip(batch, rewards):
+                if is_feasible_reward(reward):
+                    feasible.append(design.copy())
+            self.tell(batch, rewards)
 
         designs, values = self.observations
         return TurboResult(

@@ -1,0 +1,152 @@
+"""Opt-in multiprocessing sharding of the batch axis.
+
+The batched evaluation paths vectorize within one process; this module
+shards the ``B`` axis of one :meth:`AnalogCircuit.evaluate_batch` call
+across a ``concurrent.futures.ProcessPoolExecutor`` when the operational
+configuration asks for ``workers > 1`` — modelling the paper's 3-way /
+30-way simulation parallelism with real OS-level concurrency.
+
+Design constraints:
+
+* **Seeded-stream identical** — sampling happens *before* evaluation (the
+  evaluation consumes no randomness), and shard results are concatenated in
+  submission order, so a sharded run returns bit-identical metric arrays to
+  the single-process run.
+* **No circuit pickling** — circuit instances carry closures (the
+  :class:`DeviceSpec` sizing lambdas) and cannot cross a process boundary.
+  Workers receive the circuit's *registry name* instead and construct their
+  own instance once, caching it for the life of the process.  Circuits not
+  in the registry silently run single-process.
+* **Lazy pools** — one executor per worker count, created on first use and
+  shut down at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.circuits.base import AnalogCircuit
+from repro.variation.corners import CornerBatch, PVTCorner
+
+#: Shard only batches at least this many times the worker count; smaller
+#: batches are not worth the serialization round trip.
+MIN_ROWS_PER_WORKER = 2
+
+_EXECUTORS: Dict[int, ProcessPoolExecutor] = {}
+
+# Per-worker-process circuit cache, keyed by registry name.
+_WORKER_CIRCUITS: Dict[str, AnalogCircuit] = {}
+
+
+def _executor(workers: int) -> ProcessPoolExecutor:
+    pool = _EXECUTORS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _EXECUTORS[workers] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_executors() -> None:  # pragma: no cover - interpreter teardown
+    for pool in _EXECUTORS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _EXECUTORS.clear()
+
+
+def _worker_circuit(name: str) -> AnalogCircuit:
+    circuit = _WORKER_CIRCUITS.get(name)
+    if circuit is None:
+        from repro.circuits.registry import get_circuit
+
+        circuit = get_circuit(name)
+        _WORKER_CIRCUITS[name] = circuit
+    return circuit
+
+
+def _evaluate_shard(
+    circuit_name: str,
+    x_normalized: np.ndarray,
+    corner: Union[PVTCorner, CornerBatch, None],
+    mismatch: Optional[np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """Worker-side: evaluate one shard on a process-cached circuit."""
+    return _worker_circuit(circuit_name).evaluate_batch(
+        x_normalized, corner, mismatch
+    )
+
+
+def _registered_name(circuit: AnalogCircuit) -> Optional[str]:
+    """The circuit's registry name, or ``None`` when it is not registered
+    (or registered under a name that builds a different class)."""
+    from repro.circuits.registry import _REGISTRY
+
+    registered = _REGISTRY.get(circuit.name)
+    if registered is not None and type(circuit) is registered:
+        return circuit.name
+    return None
+
+
+def shardable(circuit: AnalogCircuit, workers: int, batch: int) -> bool:
+    """True when a batch of this size is worth splitting across workers."""
+    return (
+        workers > 1
+        and batch >= MIN_ROWS_PER_WORKER * workers
+        and _registered_name(circuit) is not None
+    )
+
+
+def evaluate_batch_sharded(
+    circuit: AnalogCircuit,
+    x_normalized: np.ndarray,
+    corner: Union[PVTCorner, CornerBatch, None],
+    mismatch: Optional[np.ndarray],
+    workers: int,
+) -> Dict[str, np.ndarray]:
+    """Split one ``evaluate_batch`` call's row axis across ``workers``.
+
+    Falls back to the in-process call whenever sharding is not applicable
+    (small batch, unregistered circuit, ``workers == 1``).  Results are
+    concatenated in shard order and are bit-identical to the single-process
+    evaluation.
+    """
+    batch = _batch_length(corner, mismatch)
+    if batch is None or not shardable(circuit, workers, batch):
+        return circuit.evaluate_batch(x_normalized, corner, mismatch)
+    name = _registered_name(circuit)
+
+    bounds = np.linspace(0, batch, workers + 1).astype(int)
+    futures = []
+    pool = _executor(workers)
+    for shard in range(workers):
+        lo, hi = int(bounds[shard]), int(bounds[shard + 1])
+        if lo == hi:
+            continue
+        shard_corner = corner
+        if isinstance(corner, CornerBatch):
+            shard_corner = CornerBatch.from_corners(corner.corners[lo:hi])
+        shard_mismatch = None if mismatch is None else mismatch[lo:hi]
+        futures.append(
+            pool.submit(
+                _evaluate_shard, name, x_normalized, shard_corner, shard_mismatch
+            )
+        )
+    results = [future.result() for future in futures]
+    return {
+        metric: np.concatenate([result[metric] for result in results])
+        for metric in results[0]
+    }
+
+
+def _batch_length(
+    corner: Union[PVTCorner, CornerBatch, None], mismatch: Optional[np.ndarray]
+) -> Optional[int]:
+    """Row count of the evaluation, or ``None`` when it cannot be inferred."""
+    if mismatch is not None:
+        return int(np.asarray(mismatch).shape[0])
+    if isinstance(corner, CornerBatch):
+        return len(corner)
+    return None

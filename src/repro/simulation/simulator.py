@@ -18,17 +18,30 @@ mismatch set or corner sweep is evaluated in one
 :meth:`~repro.circuits.base.AnalogCircuit.evaluate_batch` pass instead of B
 scalar calls.  Budget accounting is unchanged — a batch of B conditions
 still charges B simulations, exactly as the paper counts them.
+
+Two further axes batch through dedicated entry points:
+
+* :meth:`simulate_corner_sweep` — one design across *corners × mismatch
+  sets* as a single mega-batch (the optimizer seed phase);
+* :meth:`simulate_designs` — many *designs* at one corner in one vectorized
+  pass (TuRBO proposal batches, population-style baselines).
+
+With ``workers > 1`` the mismatch/corner-batched calls additionally shard
+their row axis across a process pool (:mod:`repro.simulation.sharding`)
+with bit-identical results; the design-axis path runs in-process (ROADMAP:
+design-axis sharding).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.circuits.base import AnalogCircuit
 from repro.simulation.budget import SimulationBudget, SimulationPhase
+from repro.simulation.sharding import evaluate_batch_sharded
 from repro.variation.corners import CornerBatch, CornerSet, PVTCorner, typical_corner
 from repro.variation.mismatch import MismatchSet
 
@@ -65,9 +78,11 @@ class CircuitSimulator:
         self,
         circuit: AnalogCircuit,
         budget: Optional[SimulationBudget] = None,
+        workers: int = 1,
     ):
         self._circuit = circuit
         self._budget = budget if budget is not None else SimulationBudget()
+        self._workers = max(1, int(workers))
 
     @property
     def circuit(self) -> AnalogCircuit:
@@ -76,6 +91,23 @@ class CircuitSimulator:
     @property
     def budget(self) -> SimulationBudget:
         return self._budget
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _evaluate_batch(
+        self,
+        x_normalized: np.ndarray,
+        corner: Union[PVTCorner, CornerBatch, None],
+        mismatch: Optional[np.ndarray],
+    ) -> Dict[str, np.ndarray]:
+        """One batched evaluation, sharded across processes when configured."""
+        if self._workers > 1:
+            return evaluate_batch_sharded(
+                self._circuit, x_normalized, corner, mismatch, self._workers
+            )
+        return self._circuit.evaluate_batch(x_normalized, corner, mismatch)
 
     # ------------------------------------------------------------------
     def simulate(
@@ -111,9 +143,7 @@ class CircuitSimulator:
                 for mismatch in mismatch_set
             ]
         self._budget.record(phase, count)
-        metrics = self._circuit.evaluate_batch(
-            x_normalized, corner, mismatch_set.samples
-        )
+        metrics = self._evaluate_batch(x_normalized, corner, mismatch_set.samples)
         return self._records_from_batch(
             metrics, [corner] * count, list(mismatch_set)
         )
@@ -144,9 +174,80 @@ class CircuitSimulator:
         h_matrix = None
         if mismatch is not None:
             h_matrix = np.tile(np.asarray(mismatch, dtype=float), (count, 1))
-        metrics = self._circuit.evaluate_batch(x_normalized, corner_batch, h_matrix)
+        metrics = self._evaluate_batch(x_normalized, corner_batch, h_matrix)
         return self._records_from_batch(
             metrics, corner_list, [mismatch] * count
+        )
+
+    def simulate_corner_sweep(
+        self,
+        x_normalized: np.ndarray,
+        corners: Sequence[PVTCorner],
+        mismatch_sets: Sequence[MismatchSet],
+        phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
+    ) -> List[List[SimulationRecord]]:
+        """Evaluate one design across *corners × mismatch sets* in one pass.
+
+        The optimizer seed phase and the baselines' corner-exhaustive
+        evaluation both fan one design out over every predefined corner with
+        ``N'`` mismatch conditions each; this entry point stacks the whole
+        sweep into a single ``(sum_i N_i,)`` mega-batch (corner axis carried
+        by a repeated :class:`CornerBatch`) and returns the records grouped
+        per corner, in the caller's corner order.  The budget is charged in
+        one step for the entire sweep.
+        """
+        corner_list = list(corners)
+        if len(corner_list) != len(mismatch_sets):
+            raise ValueError("one mismatch set per corner is required")
+        if not corner_list:
+            return []
+        counts = [len(mismatch_set) for mismatch_set in mismatch_sets]
+        if not self._circuit.supports_batch:
+            return [
+                self.simulate_mismatch_set(x_normalized, corner, mismatch_set, phase)
+                for corner, mismatch_set in zip(corner_list, mismatch_sets)
+            ]
+        total = sum(counts)
+        self._budget.record(phase, total)
+        flat_corners = [
+            corner
+            for corner, count in zip(corner_list, counts)
+            for _ in range(count)
+        ]
+        corner_batch = CornerBatch.from_corners(flat_corners)
+        h_matrix = np.vstack([mismatch_set.samples for mismatch_set in mismatch_sets])
+        metrics = self._evaluate_batch(x_normalized, corner_batch, h_matrix)
+        flat_records = self._records_from_batch(
+            metrics, flat_corners, list(h_matrix)
+        )
+        grouped: List[List[SimulationRecord]] = []
+        offset = 0
+        for count in counts:
+            grouped.append(flat_records[offset : offset + count])
+            offset += count
+        return grouped
+
+    def simulate_designs(
+        self,
+        designs: np.ndarray,
+        corner: Optional[PVTCorner] = None,
+        phase: SimulationPhase = SimulationPhase.INITIAL_SAMPLING,
+    ) -> List[SimulationRecord]:
+        """Evaluate many *designs* at one corner and nominal mismatch.
+
+        The design axis is the batch axis here — one
+        :meth:`AnalogCircuit.evaluate_design_batch` pass covers a whole
+        TuRBO proposal batch or a population of random candidates.  The
+        budget is charged one simulation per design, exactly as the scalar
+        loop would.
+        """
+        corner = corner if corner is not None else typical_corner()
+        designs = np.atleast_2d(np.asarray(designs, dtype=float))
+        count = designs.shape[0]
+        self._budget.record(phase, count)
+        metrics = self._circuit.evaluate_design_batch(designs, corner)
+        return self._records_from_batch(
+            metrics, [corner] * count, [None] * count
         )
 
     def simulate_typical(

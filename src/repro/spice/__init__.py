@@ -35,6 +35,7 @@ from repro.spice.batched import (
     BatchedDCSolution,
     BatchedMNAStamper,
     BatchedTransientResult,
+    SMWKernel,
     solve_dc_batched,
     solve_transient_batched,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "BatchedDCSolution",
     "BatchedMNAStamper",
     "BatchedTransientResult",
+    "SMWKernel",
     "solve_dc_batched",
     "solve_transient_batched",
     "MosfetModel",

@@ -19,6 +19,28 @@ active set the moment its update drops below tolerance (mirroring the scalar
 solver's stopping rule exactly), so a single slow sample never perturbs the
 already-converged ones and the batch shrinks as it converges.
 
+**LU-cached solver kernel.**  Each MOSFET companion stamp is a *rank-one*
+matrix update: the gds conductance and the gm VCCS touch only the drain and
+source rows, and both rows are exact negatives of each other, so the whole
+restamp is ``(e_d - e_s) v^T`` with ``v = gds (e_d - e_s) + gm (e_g - e_s)``
+(the identical expression holds for PMOS after sign cancellation).  The
+static linear stamp, by contrast, is *sample-invariant* — device variation
+only enters through the MOSFETs — so one LU factorization of the static
+matrix (plus a fixed reference conductance ``g0`` between every drain/source
+pair, which keeps otherwise MOSFET-only nodes well conditioned) serves every
+sample, every Newton iteration and, in transient analysis, every time step.
+Newton iterations then solve through the Sherman–Morrison–Woodbury identity
+
+    ``(A0 + U V^T)^-1 z = y0 - W (I + V^T W)^-1 V^T y0``
+
+with ``y0 = A0^-1 z`` (two triangular solves on the cached factors) and
+``W = A0^-1 U`` precomputed once, never materialising the ``(B, n, n)``
+stack at all.  The dense path remains as a fallback: ``solver="auto"``
+selects SMW only while the update rank (the MOSFET count) stays below
+``SMW_RANK_LIMIT_FRACTION`` of the system size, and larger netlists can
+factor the static stamp with ``scipy.sparse`` (``sparse_static=True``, or
+automatically above ``SPARSE_AUTO_SIZE`` unknowns).
+
 ``solve_dc_batched`` / ``solve_transient_batched`` are drop-in batched twins
 of :func:`repro.spice.dc.solve_dc` / :func:`repro.spice.transient.solve_transient`;
 per-sample device variation (the Monte-Carlo axis) enters through
@@ -55,6 +77,23 @@ from repro.variation.corners import PVTCorner
 
 #: Per-sample device-variation map: ``{device: {"vth": (B,), "beta": (B,)}}``.
 DeviceVariation = Mapping[str, Mapping[str, np.ndarray]]
+
+#: Reference drain-source conductance folded into the cached static
+#: factorization (and subtracted back inside the low-rank correction).  It
+#: bounds the condition number of the base matrix at nodes that connect to
+#: the rest of the circuit only through MOSFET channels.
+REFERENCE_CONDUCTANCE = 1e-3
+
+#: ``solver="auto"`` uses the SMW kernel only while the update rank (the
+#: MOSFET count) stays at or below this fraction of the MNA system size;
+#: beyond it the low-rank correction stops being low-rank and the dense
+#: stacked solve wins.
+SMW_RANK_LIMIT_FRACTION = 0.5
+
+#: ``sparse_static=None`` factorises the static stamp with ``scipy.sparse``
+#: once the MNA system reaches this many unknowns; below it dense LAPACK
+#: factors are faster.
+SPARSE_AUTO_SIZE = 256
 
 
 @dataclass
@@ -131,6 +170,116 @@ class _MosfetMeta:
     drain: Optional[int]
     gate: Optional[int]
     source: Optional[int]
+
+
+class SMWKernel:
+    """LU-cached static stamp + Sherman–Morrison–Woodbury MOSFET correction.
+
+    Built once per (stamper, capacitor-conductance scale) and reused by every
+    Newton iteration / time step / batch element: the factorization and
+    ``W = A0^-1 U`` never change because the static stamp is sample-invariant.
+    Per-iteration work is two triangular solves on the cached factors plus a
+    stacked ``(B, k, k)`` capacitance-free small solve, where ``k`` is the
+    MOSFET count — the ``(B, n, n)`` matrix stack of the dense path is never
+    materialised.
+    """
+
+    def __init__(
+        self,
+        stamper: "BatchedMNAStamper",
+        capacitor_conductance: float = 0.0,
+        sparse: Optional[bool] = None,
+    ):
+        size = stamper.size
+        metas = stamper._mosfets
+        self.size = size
+        self.rank = len(metas)
+
+        # U columns: e_drain - e_source per device (ground contributes 0).
+        update_basis = np.zeros((size, self.rank))
+        for column, meta in enumerate(metas):
+            if meta.drain is not None:
+                update_basis[meta.drain, column] += 1.0
+            if meta.source is not None:
+                update_basis[meta.source, column] -= 1.0
+
+        base = stamper._static_matrix.copy()
+        if capacitor_conductance > 0.0:
+            base += capacitor_conductance * stamper._cap_pattern
+        if self.rank:
+            base += REFERENCE_CONDUCTANCE * (update_basis @ update_basis.T)
+
+        self.sparse = bool(size >= SPARSE_AUTO_SIZE if sparse is None else sparse)
+        if self.sparse:
+            from scipy.sparse import csc_matrix
+            from scipy.sparse.linalg import splu
+
+            self._splu = splu(csc_matrix(base))
+        else:
+            from scipy.linalg import lu_factor
+
+            self._lu = lu_factor(base)
+
+        # Padded gather indices: ground maps to the trailing zero column.
+        pad = size
+        self._drain_idx = np.array(
+            [pad if m.drain is None else m.drain for m in metas], dtype=int
+        )
+        self._gate_idx = np.array(
+            [pad if m.gate is None else m.gate for m in metas], dtype=int
+        )
+        self._source_idx = np.array(
+            [pad if m.source is None else m.source for m in metas], dtype=int
+        )
+
+        self.inverse_applied_basis = (
+            self._solve_base(update_basis)
+            if self.rank
+            else np.zeros((size, 0))
+        )
+        padded = np.vstack([self.inverse_applied_basis, np.zeros((1, self.rank))])
+        # Row j of V^T W is (gds_j - g0) * w_ds[j] + gm_j * w_gs[j].
+        self._w_ds = padded[self._drain_idx] - padded[self._source_idx]
+        self._w_gs = padded[self._gate_idx] - padded[self._source_idx]
+        self._identity = np.eye(self.rank)
+
+    def _solve_base(self, columns: np.ndarray) -> np.ndarray:
+        """Apply the cached factorization: solve ``base @ X = columns``."""
+        if self.sparse:
+            return self._splu.solve(columns)
+        from scipy.linalg import lu_solve
+
+        return lu_solve(self._lu, columns)
+
+    def solve(self, rhs: np.ndarray, gm: np.ndarray, gds: np.ndarray) -> np.ndarray:
+        """Solve the stacked Newton systems for one iteration.
+
+        Parameters
+        ----------
+        rhs:
+            ``(B, size)`` right-hand sides (static + capacitor history +
+            MOSFET equivalent currents already applied).
+        gm / gds:
+            ``(B, k)`` per-device small-signal values at the current iterate.
+        """
+        base_solution = self._solve_base(rhs.T).T
+        if not self.rank:
+            return base_solution
+        batch = base_solution.shape[0]
+        padded = np.concatenate(
+            [base_solution, np.zeros((batch, 1))], axis=1
+        )
+        y_ds = padded[:, self._drain_idx] - padded[:, self._source_idx]
+        y_gs = padded[:, self._gate_idx] - padded[:, self._source_idx]
+        gds_delta = gds - REFERENCE_CONDUCTANCE
+        projected = gds_delta * y_ds + gm * y_gs
+        capacitance = (
+            self._identity[None, :, :]
+            + gds_delta[:, :, None] * self._w_ds[None, :, :]
+            + gm[:, :, None] * self._w_gs[None, :, :]
+        )
+        coefficients = np.linalg.solve(capacitance, projected[:, :, None])[:, :, 0]
+        return base_solution - coefficients @ self.inverse_applied_basis.T
 
 
 class BatchedMNAStamper(MNAStamper):
@@ -214,6 +363,7 @@ class BatchedMNAStamper(MNAStamper):
         self._mosfets = mosfets
         self._source_base = source_base
         self.has_nonlinear = bool(mosfets)
+        self._smw_kernels: Dict[Tuple[float, Optional[bool]], SMWKernel] = {}
 
     # ------------------------------------------------------------------
     # Batched assembly (_idx and the scalar stamp helpers used to build
@@ -283,6 +433,17 @@ class BatchedMNAStamper(MNAStamper):
             static = static + capacitor_conductance * self._cap_pattern
         matrices = np.broadcast_to(static, (batch, self.size, self.size)).copy()
 
+        rhs = self.rhs_batch(batch, capacitor_history, source_values)
+        self._stamp_mosfets(matrices, rhs, voltages, mismatch, sample_indices)
+        return matrices, rhs
+
+    def rhs_batch(
+        self,
+        batch: int,
+        capacitor_history: Optional[np.ndarray] = None,
+        source_values: Optional[Dict[str, float]] = None,
+    ) -> np.ndarray:
+        """The ``(B, size)`` static RHS: sources plus capacitor history."""
         rhs = np.broadcast_to(self.source_rhs(source_values), (batch, self.size)).copy()
         if capacitor_history is not None and self._cap_terms:
             for position, (idx_a, idx_b, _cap) in enumerate(self._cap_terms):
@@ -291,9 +452,99 @@ class BatchedMNAStamper(MNAStamper):
                     rhs[:, idx_a] += current
                 if idx_b is not None:
                     rhs[:, idx_b] -= current
+        return rhs
 
-        self._stamp_mosfets(matrices, rhs, voltages, mismatch, sample_indices)
-        return matrices, rhs
+    def solver_kernel(
+        self,
+        solver: str = "auto",
+        capacitor_conductance: float = 0.0,
+        sparse_static: Optional[bool] = None,
+    ) -> Optional[SMWKernel]:
+        """The cached SMW kernel for this stamper, or ``None`` for dense.
+
+        ``solver`` is ``"auto"`` (SMW while the MOSFET count stays at or
+        below ``SMW_RANK_LIMIT_FRACTION`` of the system size), ``"lu"``
+        (force the SMW kernel) or ``"dense"`` (force the stacked dense
+        solve).  Kernels are cached per (conductance scale, sparsity) so a
+        transient run factorises exactly twice: once for the DC start point
+        and once for the backward-Euler scale.
+        """
+        if solver == "dense":
+            return None
+        if solver == "auto":
+            if len(self._mosfets) > SMW_RANK_LIMIT_FRACTION * self.size:
+                return None
+        elif solver != "lu":
+            raise ValueError(f"unknown solver {solver!r}; use auto, lu or dense")
+        key = (float(capacitor_conductance), sparse_static)
+        kernel = self._smw_kernels.get(key)
+        if kernel is None:
+            kernel = SMWKernel(self, capacitor_conductance, sparse_static)
+            self._smw_kernels[key] = kernel
+        return kernel
+
+    def device_ops_batch(
+        self,
+        voltages: np.ndarray,
+        mismatch: Optional[DeviceVariation] = None,
+        sample_indices: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-device companion values ``(gm, gds, ieq)``, each ``(B, k)``.
+
+        Evaluates the same ``batch_operating_point`` linearisation as the
+        dense restamp, but returns the values as stacked arrays for the SMW
+        kernel instead of scattering them into matrices.
+        """
+        voltages = np.atleast_2d(np.asarray(voltages, dtype=float))
+        batch = voltages.shape[0]
+        rank = len(self._mosfets)
+        gm = np.empty((batch, rank))
+        gds = np.empty((batch, rank))
+        ieq = np.empty((batch, rank))
+        for column, meta in enumerate(self._mosfets):
+            vgs, vds = self._device_bias(meta, voltages)
+            vth_shift, beta_error = self._device_variation(
+                meta, mismatch, sample_indices
+            )
+            op = meta.element.model.batch_operating_point(
+                vgs, vds, self.corner, vth_shift, beta_error
+            )
+            gm[:, column] = op.gm
+            gds[:, column] = op.gds
+            ieq[:, column] = op.ids - op.gm * vgs - op.gds * vds
+        return gm, gds, ieq
+
+    def add_device_currents(self, rhs: np.ndarray, ieq: np.ndarray) -> None:
+        """Scatter the MOSFET equivalent currents ``(B, k)`` into ``rhs``.
+
+        NMOS injects ``+ieq`` at the source and ``-ieq`` at the drain; PMOS
+        the opposite — identical to the dense restamp's ``_add_current``.
+        """
+        for column, meta in enumerate(self._mosfets):
+            current = ieq[:, column]
+            if meta.element.is_pmos:
+                plus, minus = meta.drain, meta.source
+            else:
+                plus, minus = meta.source, meta.drain
+            if plus is not None:
+                rhs[:, plus] += current
+            if minus is not None:
+                rhs[:, minus] -= current
+
+    def _device_bias(
+        self, meta: _MosfetMeta, voltages: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched ``(vgs, vds)`` with PMOS source-referencing applied."""
+        vd = self._gather(voltages, meta.drain)
+        vg = self._gather(voltages, meta.gate)
+        vs = self._gather(voltages, meta.source)
+        if meta.element.is_pmos:
+            vgs = vs - vg
+            vds = vs - vd
+        else:
+            vgs = vg - vs
+            vds = vd - vs
+        return vgs, np.maximum(vds, 0.0)
 
     def _gather(self, voltages: np.ndarray, index: Optional[int]) -> np.ndarray:
         """Batched node-voltage gather (``None`` = ground -> zeros)."""
@@ -334,17 +585,7 @@ class BatchedMNAStamper(MNAStamper):
         """Incremental nonlinear restamp, vectorized over the batch axis."""
         for meta in self._mosfets:
             device = meta.element
-            vd = self._gather(voltages, meta.drain)
-            vg = self._gather(voltages, meta.gate)
-            vs = self._gather(voltages, meta.source)
-            if device.is_pmos:
-                vgs = vs - vg
-                vds = vs - vd
-            else:
-                vgs = vg - vs
-                vds = vd - vs
-            vds = np.maximum(vds, 0.0)
-
+            vgs, vds = self._device_bias(meta, voltages)
             vth_shift, beta_error = self._device_variation(
                 meta, mismatch, sample_indices
             )
@@ -396,6 +637,42 @@ class BatchedMNAStamper(MNAStamper):
             rhs[:, minus] -= value
 
 
+def _newton_step(
+    stamper: BatchedMNAStamper,
+    kernel: Optional[SMWKernel],
+    voltages: np.ndarray,
+    mismatch: Optional[DeviceVariation],
+    sample_indices: Optional[np.ndarray],
+    source_values: Optional[Dict[str, float]],
+    capacitor_conductance: float = 0.0,
+    capacitor_history: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One stacked linearise-and-solve step through either solver path."""
+    try:
+        if kernel is not None:
+            gm, gds, ieq = stamper.device_ops_batch(
+                voltages, mismatch, sample_indices
+            )
+            rhs = stamper.rhs_batch(
+                voltages.shape[0], capacitor_history, source_values
+            )
+            stamper.add_device_currents(rhs, ieq)
+            return kernel.solve(rhs, gm, gds)
+        matrices, rhs = stamper.assemble_batch(
+            voltages,
+            mismatch=mismatch,
+            capacitor_conductance=capacitor_conductance,
+            capacitor_history=capacitor_history,
+            source_values=source_values,
+            sample_indices=sample_indices,
+        )
+        return np.linalg.solve(matrices, rhs[:, :, None])[:, :, 0]
+    except np.linalg.LinAlgError as error:
+        raise ConvergenceError(
+            f"singular MNA matrix for circuit {stamper.circuit.name!r}: {error}"
+        ) from error
+
+
 def solve_dc_batched(
     circuit: Circuit,
     corner: Optional[PVTCorner] = None,
@@ -407,6 +684,9 @@ def solve_dc_batched(
     initial_guess: Optional[Dict[str, float]] = None,
     source_values: Optional[Dict[str, float]] = None,
     raise_on_failure: bool = True,
+    solver: str = "auto",
+    sparse_static: Optional[bool] = None,
+    stamper: Optional[BatchedMNAStamper] = None,
 ) -> BatchedDCSolution:
     """Batched twin of :func:`repro.spice.dc.solve_dc`.
 
@@ -415,9 +695,24 @@ def solve_dc_batched(
     shrinks as the batch converges.  With ``raise_on_failure=False``
     unconverged samples are reported through ``converged`` instead of
     raising :class:`ConvergenceError`.
+
+    ``solver`` selects the linear kernel: ``"auto"`` (default) uses the
+    LU-cached Sherman–Morrison–Woodbury path while the MOSFET count stays
+    low-rank relative to the system size and falls back to the dense stacked
+    solve otherwise; ``"lu"`` / ``"dense"`` force a path.  ``sparse_static``
+    controls the static-stamp factorization (``None`` = dense below
+    ``SPARSE_AUTO_SIZE`` unknowns).  Passing a prebuilt ``stamper`` (from a
+    previous call on the same circuit and corner) reuses its cached static
+    stamp *and* LU factors across calls.
     """
-    stamper = BatchedMNAStamper(circuit, corner)
+    if stamper is None:
+        stamper = BatchedMNAStamper(circuit, corner)
+    elif stamper.circuit is not circuit or stamper.corner != corner:
+        raise ValueError(
+            "stamper was built for a different circuit/corner than this solve"
+        )
     stamper.check_mismatch_devices(mismatch)
+    kernel = stamper.solver_kernel(solver, 0.0, sparse_static)
     batch = _infer_batch(mismatch, batch_size)
     num_nodes = stamper.num_nodes
 
@@ -433,18 +728,14 @@ def solve_dc_batched(
     active = np.arange(batch)
 
     for iteration in range(1, max_iterations + 1):
-        matrices, rhs = stamper.assemble_batch(
+        solution = _newton_step(
+            stamper,
+            kernel,
             voltages[active],
-            mismatch=mismatch,
-            source_values=source_values,
-            sample_indices=active,
+            mismatch,
+            active,
+            source_values,
         )
-        try:
-            solution = np.linalg.solve(matrices, rhs[:, :, None])[:, :, 0]
-        except np.linalg.LinAlgError as error:
-            raise ConvergenceError(
-                f"singular MNA matrix for circuit {circuit.name!r}: {error}"
-            ) from error
         new_voltages = solution[:, :num_nodes]
         iterations[active] = iteration
         if not nonlinear:
@@ -468,10 +759,9 @@ def solve_dc_batched(
 
     # Final pass at the converged voltages to extract source currents,
     # mirroring the scalar solver's closing assemble+solve.
-    matrices, rhs = stamper.assemble_batch(
-        voltages, mismatch=mismatch, source_values=source_values
+    solution = _newton_step(
+        stamper, kernel, voltages, mismatch, None, source_values
     )
-    solution = np.linalg.solve(matrices, rhs[:, :, None])[:, :, 0]
     return BatchedDCSolution(
         voltages=solution[:, :num_nodes],
         source_currents=solution[:, num_nodes:],
@@ -493,6 +783,8 @@ def solve_transient_batched(
     source_waveforms: Optional[Dict[str, object]] = None,
     newton_iterations: int = 40,
     tolerance: float = 1e-7,
+    solver: str = "auto",
+    sparse_static: Optional[bool] = None,
 ) -> BatchedTransientResult:
     """Batched twin of :func:`repro.spice.transient.solve_transient`.
 
@@ -501,6 +793,11 @@ def solve_transient_batched(
     :func:`solve_dc_batched`.  Time-varying sources are shared across the
     batch (the batch axis carries device variation, not drive variation) and
     are applied as stamping overrides — the netlist is never mutated.
+
+    With the default ``solver="auto"`` the backward-Euler matrix base is
+    LU-factorised exactly once for the whole run (the companion-conductance
+    scale is time-invariant) and every Newton iteration of every step reuses
+    it through the SMW correction.
     """
     if stop_time <= 0 or time_step <= 0:
         raise ValueError("stop_time and time_step must be positive")
@@ -517,6 +814,9 @@ def solve_transient_batched(
             mismatch=mismatch,
             batch_size=batch,
             source_values=sample_source_waveforms(source_waveforms, 0.0),
+            solver=solver,
+            sparse_static=sparse_static,
+            stamper=stamper,
         )
         voltages = start.voltages.copy()
     else:
@@ -531,6 +831,7 @@ def solve_transient_batched(
     data[:, :, 0] = voltages
     conductance_scale = 1.0 / time_step
     cap_terms = stamper._cap_terms
+    kernel = stamper.solver_kernel(solver, conductance_scale, sparse_static)
 
     for step in range(1, steps + 1):
         source_values = sample_source_waveforms(source_waveforms, times[step])
@@ -544,20 +845,16 @@ def solve_transient_batched(
         iterate = voltages.copy()
         active = np.arange(batch)
         for _ in range(newton_iterations):
-            matrices, rhs = stamper.assemble_batch(
+            solution = _newton_step(
+                stamper,
+                kernel,
                 iterate[active],
-                mismatch=mismatch,
+                mismatch,
+                active,
+                source_values,
                 capacitor_conductance=conductance_scale,
                 capacitor_history=history[active],
-                source_values=source_values,
-                sample_indices=active,
             )
-            try:
-                solution = np.linalg.solve(matrices, rhs[:, :, None])[:, :, 0]
-            except np.linalg.LinAlgError as error:
-                raise ConvergenceError(
-                    f"singular matrix during transient of {circuit.name!r}"
-                ) from error
             new_iterate = solution[:, :num_nodes]
             done = np.max(np.abs(new_iterate - iterate[active]), axis=1) < tolerance
             iterate[active] = new_iterate

@@ -77,3 +77,49 @@ def rc_lowpass(resistance: float = 1e3, capacitance: float = 1e-9) -> Circuit:
     circuit.add(Resistor("R1", "in", "out", resistance))
     circuit.add(Capacitor("C1", "out", GROUND, capacitance))
     return circuit
+
+
+def common_source_ladder(stages: int = 16, filter_nodes: int = 4) -> Circuit:
+    """``stages`` coupled common-source stages: the larger-netlist testbench.
+
+    Each stage is the resistor-loaded NMOS of :func:`common_source_amplifier`
+    with its own gate-bias tap on a resistive divider ladder, a resistive
+    output filter chain of ``filter_nodes`` extra nodes, and neighbouring
+    drains weakly coupled through bridge resistors so the MNA matrix is not
+    block-diagonal.  With ``(2 + filter_nodes) * stages + 2`` nodes but only
+    ``stages`` nonlinear devices it is exactly the shape where the LU-cached
+    Sherman–Morrison–Woodbury kernel (and, larger still, the sparse static
+    stamp) pays off over the dense stacked solve.
+    """
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+    circuit = Circuit(f"cs_ladder_{stages}x{filter_nodes}")
+    circuit.add(VoltageSource("VDD", "vdd", GROUND, 0.9))
+    circuit.add(VoltageSource("VB", "bias", GROUND, 0.55))
+    previous_gate = "bias"
+    for stage in range(stages):
+        gate = f"g{stage}"
+        drain = f"d{stage}"
+        # Bias divider ladder: each tap sits a little below the previous.
+        circuit.add(Resistor(f"RB{stage}", previous_gate, gate, 2e3))
+        circuit.add(Resistor(f"RG{stage}", gate, GROUND, 200e3))
+        circuit.add(Resistor(f"RD{stage}", "vdd", drain, 40e3))
+        circuit.add(
+            Mosfet(
+                f"M{stage}",
+                drain,
+                gate,
+                GROUND,
+                MosfetModel(2e-6, 100e-9, nmos_28nm()),
+            )
+        )
+        node = drain
+        for tap in range(filter_nodes):
+            bridge = f"f{stage}_{tap}"
+            circuit.add(Resistor(f"RF{stage}_{tap}", node, bridge, 10e3))
+            circuit.add(Resistor(f"RFG{stage}_{tap}", bridge, GROUND, 1e6))
+            node = bridge
+        if stage:
+            circuit.add(Resistor(f"RC{stage}", f"d{stage - 1}", drain, 500e3))
+        previous_gate = gate
+    return circuit

@@ -145,7 +145,11 @@ class MosfetModel:
     Parameters
     ----------
     width / length:
-        Gate dimensions in metres.
+        Gate dimensions in metres.  Both accept arrays (one entry per batch
+        element) as well as scalars: every downstream expression is
+        ufunc-style, which is what lets the behavioural circuit models
+        evaluate a whole *design* batch — for example a TuRBO proposal
+        batch — in one vectorized pass.
     parameters:
         Technology parameters (defaults to the 28 nm NMOS set).
     """
@@ -155,16 +159,20 @@ class MosfetModel:
 
     def __init__(
         self,
-        width: float,
-        length: float,
+        width,
+        length,
         parameters: Optional[MosfetParameters] = None,
     ):
-        if width < self.MIN_WIDTH:
+        width = np.asarray(width, dtype=float)
+        length = np.asarray(length, dtype=float)
+        if np.any(width < self.MIN_WIDTH):
             raise ValueError(f"width {width} m below minimum {self.MIN_WIDTH} m")
-        if length < self.MIN_LENGTH:
+        if np.any(length < self.MIN_LENGTH):
             raise ValueError(f"length {length} m below minimum {self.MIN_LENGTH} m")
-        self.width = float(width)
-        self.length = float(length)
+        # Scalars stay plain floats so the scalar paths are bit-identical to
+        # the pre-batching behaviour.
+        self.width = float(width) if width.ndim == 0 else width
+        self.length = float(length) if length.ndim == 0 else length
         self.parameters = parameters if parameters is not None else nmos_28nm()
 
     # ------------------------------------------------------------------
@@ -327,7 +335,7 @@ class MosfetModel:
     # ------------------------------------------------------------------
     def _vdsat(self, vov: float, params: MosfetParameters) -> float:
         length_um = self.length * 1e6
-        v_crit = params.v_sat_effect * max(length_um, 1e-3)
+        v_crit = params.v_sat_effect * np.maximum(length_um, 1e-3)
         if vov <= 0:
             return 0.0
         return vov * v_crit / (vov + v_crit)
@@ -367,11 +375,11 @@ class MosfetModel:
 
         # Strong inversion: velocity-saturated square law with CLM.
         length_um = self.length * 1e6
-        v_crit = params.v_sat_effect * max(length_um, 1e-3)
+        v_crit = params.v_sat_effect * np.maximum(length_um, 1e-3)
         vdsat = np.where(
             vov > 0, vov * v_crit / np.maximum(vov + v_crit, 1e-12), 0.0
         )
-        lam = params.lambda_per_um / max(length_um, 1e-3)
+        lam = params.lambda_per_um / np.maximum(length_um, 1e-3)
         i_sat = 0.5 * beta * vov * vdsat * (1.0 + lam * (vds - vdsat))
         i_tri = beta * (vov - 0.5 * vds) * vds
 

@@ -1,0 +1,256 @@
+"""Equivalence suite for the batched control loop.
+
+PR 1 batched the simulator; this suite pins down the layers above it:
+
+* design-axis batching (``evaluate_design_batch`` / ``simulate_designs``),
+* the corners × mismatch-sets mega-batch (``simulate_corner_sweep``),
+* TuRBO's batched objective (identical trajectory to the scalar schedule),
+* the optimizer seed phase through the mega-batch (identical buffers),
+* the baselines' batched population sampling, and
+* multiprocessing sharding (bit-identical to single-process).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RobustAnalogOptimizer
+from repro.circuits import DramCoreSenseAmp, FloatingInverterAmplifier, StrongArmLatch
+from repro.core.config import GlovaConfig, VerificationMethod
+from repro.core.optimizer import GlovaOptimizer
+from repro.core.turbo import TurboSampler
+from repro.simulation import CircuitSimulator, SimulationPhase
+from repro.variation.corners import ProcessCorner, PVTCorner, full_corner_set, typical_corner
+from repro.variation.mismatch import MismatchSampler
+
+ALL_CIRCUITS = [StrongArmLatch, FloatingInverterAmplifier, DramCoreSenseAmp]
+TOLERANCE = 1e-9
+
+
+def seeded_sampler(circuit, seed=21):
+    return MismatchSampler(
+        circuit.mismatch_model,
+        include_global=True,
+        include_local=True,
+        rng=np.random.default_rng(seed),
+    )
+
+
+@pytest.mark.parametrize("circuit_cls", ALL_CIRCUITS)
+class TestDesignAxisBatching:
+    def test_evaluate_design_batch_matches_scalar(self, circuit_cls):
+        circuit = circuit_cls()
+        rng = np.random.default_rng(3)
+        designs = rng.uniform(0.1, 0.9, size=(7, circuit.dimension))
+        corner = PVTCorner(ProcessCorner.SF, 0.8, -40.0)
+        batch = circuit.evaluate_design_batch(designs, corner)
+        for index in range(len(designs)):
+            scalar = circuit.evaluate(designs[index], corner)
+            for name in circuit.metric_names:
+                assert batch[name][index] == pytest.approx(
+                    scalar[name], abs=TOLERANCE
+                )
+
+    def test_denormalize_batch_matches_scalar(self, circuit_cls):
+        circuit = circuit_cls()
+        rng = np.random.default_rng(4)
+        designs = rng.uniform(0.0, 1.0, size=(5, circuit.dimension))
+        batch = circuit.denormalize_batch(designs)
+        for index in range(len(designs)):
+            assert np.array_equal(batch[index], circuit.denormalize(designs[index]))
+
+    def test_simulate_designs_records_and_budget(self, circuit_cls):
+        circuit = circuit_cls()
+        simulator = CircuitSimulator(circuit)
+        rng = np.random.default_rng(5)
+        designs = rng.uniform(0.2, 0.8, size=(6, circuit.dimension))
+        records = simulator.simulate_designs(designs)
+        assert simulator.budget.snapshot()["initial_sampling"] == 6
+        for index, record in enumerate(records):
+            scalar = circuit.evaluate(designs[index], typical_corner())
+            for name in circuit.metric_names:
+                assert record.metrics[name] == pytest.approx(
+                    scalar[name], abs=TOLERANCE
+                )
+
+
+class TestCornerSweepMegaBatch:
+    def test_matches_per_corner_mismatch_sets(self, strongarm):
+        x = np.full(strongarm.dimension, 0.55)
+        corners = list(full_corner_set())
+        sets = [
+            seeded_sampler(strongarm).sample(strongarm.denormalize(x), 3)
+            for _ in corners
+        ]
+
+        mega = CircuitSimulator(strongarm)
+        grouped = mega.simulate_corner_sweep(
+            x, corners, sets, phase=SimulationPhase.INITIAL_SAMPLING
+        )
+        assert mega.budget.snapshot()["initial_sampling"] == 3 * len(corners)
+
+        sequential = CircuitSimulator(strongarm)
+        for corner, mismatch_set, records in zip(corners, sets, grouped):
+            reference = sequential.simulate_mismatch_set(
+                x, corner, mismatch_set, phase=SimulationPhase.INITIAL_SAMPLING
+            )
+            assert len(records) == len(reference) == 3
+            for fast, slow in zip(records, reference):
+                assert fast.corner == corner
+                for name in strongarm.metric_names:
+                    assert fast.metrics[name] == pytest.approx(
+                        slow.metrics[name], abs=TOLERANCE
+                    )
+
+    def test_rejects_mismatched_lengths(self, strongarm):
+        simulator = CircuitSimulator(strongarm)
+        x = np.full(strongarm.dimension, 0.5)
+        with pytest.raises(ValueError, match="one mismatch set per corner"):
+            simulator.simulate_corner_sweep(x, list(full_corner_set()), [])
+
+
+class TestTurboBatchedObjective:
+    @staticmethod
+    def scalar_objective(design):
+        # Feasible (reward 0.2) inside a corner of the cube, so the
+        # feasible-target stop is exercised too.
+        return 0.2 if design[0] > 0.8 and design[1] > 0.6 else float(-np.sum(design**2))
+
+    def run_sampler(self, batched: bool):
+        sampler = TurboSampler(
+            dimension=4, rng=np.random.default_rng(17), batch_size=3
+        )
+        if batched:
+            return sampler.run(
+                None,
+                max_evaluations=40,
+                feasible_target=2,
+                objective_batch=lambda designs: np.array(
+                    [self.scalar_objective(design) for design in designs]
+                ),
+            )
+        return sampler.run(
+            self.scalar_objective, max_evaluations=40, feasible_target=2
+        )
+
+    def test_batched_trajectory_identical_to_scalar(self):
+        scalar = self.run_sampler(batched=False)
+        batched = self.run_sampler(batched=True)
+        assert scalar.evaluations == batched.evaluations
+        assert np.array_equal(scalar.designs, batched.designs)
+        assert np.array_equal(scalar.rewards, batched.rewards)
+        assert len(scalar.feasible_designs) == len(batched.feasible_designs)
+
+    def test_requires_some_objective(self):
+        sampler = TurboSampler(dimension=2, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="objective"):
+            sampler.run(None, max_evaluations=5)
+
+
+class TestSeedPhaseMegaBatch:
+    def make_optimizer(self, seed=11):
+        config = GlovaConfig(
+            verification=VerificationMethod.CORNER_LOCAL_MC,
+            optimization_samples=3,
+            verification_samples=6,
+            initial_samples=10,
+            max_iterations=2,
+            seed=seed,
+        )
+        return GlovaOptimizer(StrongArmLatch(), config)
+
+    def test_seed_buffers_match_sequential_schedule(self):
+        mega = self.make_optimizer()
+        reference = self.make_optimizer()
+
+        # Rewire the reference optimizer onto the strictly sequential
+        # per-corner schedule the seed phase used before mega-batching.
+        simulator = reference.simulator
+
+        def sequential_sweep(x, corners, mismatch_sets, phase):
+            return [
+                simulator.simulate_mismatch_set(x, corner, mismatch_set, phase=phase)
+                for corner, mismatch_set in zip(corners, mismatch_sets)
+            ]
+
+        reference.simulator.simulate_corner_sweep = sequential_sweep
+
+        designs = [
+            np.full(mega.circuit.dimension, 0.45),
+            np.full(mega.circuit.dimension, 0.7),
+        ]
+        mega._seed_buffers([design.copy() for design in designs])
+        reference._seed_buffers([design.copy() for design in designs])
+
+        assert mega.budget.total == reference.budget.total
+        for corner in mega.operational.corners:
+            assert mega.last_worst.reward_of(corner) == pytest.approx(
+                reference.last_worst.reward_of(corner), abs=TOLERANCE
+            )
+        assert np.allclose(
+            mega.agent.buffer.all_rewards(),
+            reference.agent.buffer.all_rewards(),
+            atol=TOLERANCE,
+        )
+
+
+class TestRobustAnalogBatchedSampling:
+    def test_population_rewards_match_scalar(self, strongarm):
+        optimizer = RobustAnalogOptimizer(
+            strongarm,
+            GlovaConfig(seed=9, initial_samples=8),
+            random_initial_samples=8,
+        )
+        best = optimizer._random_initial_sampling()
+        designs = optimizer.agent.buffer.all_designs()
+        rewards = optimizer.agent.buffer.all_rewards()
+        assert len(designs) == 8
+        for design, reward in zip(designs, rewards):
+            assert reward == pytest.approx(
+                optimizer.typical_reward(design), abs=TOLERANCE
+            )
+        assert float(np.max(rewards)) == pytest.approx(
+            optimizer.typical_reward(best), abs=TOLERANCE
+        )
+
+
+class TestWorkerSharding:
+    def test_sharded_mismatch_sweep_identical(self, strongarm):
+        x = np.full(strongarm.dimension, 0.5)
+        mismatch_set = seeded_sampler(strongarm).sample(
+            strongarm.denormalize(x), 8
+        )
+        single = CircuitSimulator(strongarm, workers=1)
+        sharded = CircuitSimulator(strongarm, workers=2)
+        reference = single.simulate_mismatch_set(x, typical_corner(), mismatch_set)
+        records = sharded.simulate_mismatch_set(x, typical_corner(), mismatch_set)
+        assert sharded.budget.total == 8
+        for fast, slow in zip(records, reference):
+            for name in strongarm.metric_names:
+                assert fast.metrics[name] == slow.metrics[name]
+
+    def test_sharded_corner_sweep_identical(self, fia):
+        x = np.full(fia.dimension, 0.5)
+        corners = list(full_corner_set())
+        sets = [
+            seeded_sampler(fia, seed=33).sample(fia.denormalize(x), 2)
+            for _ in corners
+        ]
+        single = CircuitSimulator(fia, workers=1).simulate_corner_sweep(
+            x, corners, sets
+        )
+        sharded = CircuitSimulator(fia, workers=2).simulate_corner_sweep(
+            x, corners, sets
+        )
+        for group_single, group_sharded in zip(single, sharded):
+            for fast, slow in zip(group_sharded, group_single):
+                for name in fia.metric_names:
+                    assert fast.metrics[name] == slow.metrics[name]
+
+    def test_small_batches_stay_in_process(self, strongarm):
+        # Below MIN_ROWS_PER_WORKER * workers the sharded path is bypassed;
+        # results are identical either way.
+        x = np.full(strongarm.dimension, 0.5)
+        mismatch_set = seeded_sampler(strongarm).sample(strongarm.denormalize(x), 2)
+        sharded = CircuitSimulator(strongarm, workers=4)
+        records = sharded.simulate_mismatch_set(x, typical_corner(), mismatch_set)
+        assert len(records) == 2

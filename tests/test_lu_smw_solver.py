@@ -1,0 +1,173 @@
+"""Equivalence suite for the LU-cached Sherman–Morrison–Woodbury kernel.
+
+The SMW path (``solver="lu"``) must reproduce the dense stacked solve
+(``solver="dense"``) — and therefore the scalar reference solver — at 1e-9
+on node voltages and source currents, for DC and transient, with dense and
+sparse static-stamp factorizations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    GROUND,
+    Mosfet,
+    MosfetModel,
+    Resistor,
+    VoltageSource,
+    nmos_28nm,
+    pmos_28nm,
+    solve_dc,
+    solve_dc_batched,
+    solve_transient,
+    solve_transient_batched,
+)
+from repro.spice.batched import (
+    BatchedMNAStamper,
+    SMW_RANK_LIMIT_FRACTION,
+)
+from repro.spice.examples import (
+    common_source_amplifier,
+    common_source_ladder,
+    loaded_cmos_inverter,
+    rc_lowpass,
+)
+from repro.variation.corners import ProcessCorner, PVTCorner
+
+TOLERANCE = 1e-9
+BATCH = 12
+
+
+def mosfet_heavy_circuit() -> Circuit:
+    """More MOSFETs than half the system size: forces the dense fallback."""
+    circuit = Circuit("mosfet_heavy")
+    circuit.add(VoltageSource("VDD", "vdd", GROUND, 0.9))
+    circuit.add(VoltageSource("VIN", "in", GROUND, 0.4))
+    circuit.add(
+        Mosfet("MP", "out", "in", "vdd", MosfetModel(2e-6, 60e-9, pmos_28nm()))
+    )
+    for index in range(3):
+        circuit.add(
+            Mosfet(
+                f"MN{index}",
+                "out",
+                "in",
+                GROUND,
+                MosfetModel(1e-6, 60e-9, nmos_28nm()),
+            )
+        )
+    return circuit
+
+
+class TestDCSolverEquivalence:
+    @pytest.mark.parametrize("sparse_static", [False, True])
+    def test_common_source_matches_dense_and_scalar(self, sparse_static):
+        shifts = np.random.default_rng(0).normal(0.0, 0.03, BATCH)
+        corner = PVTCorner(ProcessCorner.SS, 0.8, 80.0)
+        mismatch = {"M1": {"vth": shifts}}
+        dense = solve_dc_batched(
+            common_source_amplifier(), corner, mismatch, damping=0.5,
+            solver="dense",
+        )
+        smw = solve_dc_batched(
+            common_source_amplifier(), corner, mismatch, damping=0.5,
+            solver="lu", sparse_static=sparse_static,
+        )
+        assert np.max(np.abs(dense.voltages - smw.voltages)) < TOLERANCE
+        assert np.max(np.abs(dense.source_currents - smw.source_currents)) < TOLERANCE
+        assert np.array_equal(dense.iterations, smw.iterations)
+        for index, shift in enumerate(shifts):
+            scalar = solve_dc(common_source_amplifier(shift), corner, damping=0.5)
+            assert smw.voltage("drain")[index] == pytest.approx(
+                scalar["drain"], abs=TOLERANCE
+            )
+
+    def test_ladder_matches_dense(self):
+        circuit = common_source_ladder(stages=8, filter_nodes=2)
+        shifts = np.random.default_rng(1).normal(0.0, 0.02, BATCH)
+        mismatch = {f"M{stage}": {"vth": shifts} for stage in range(8)}
+        dense = solve_dc_batched(circuit, mismatch=mismatch, damping=0.7, solver="dense")
+        smw = solve_dc_batched(circuit, mismatch=mismatch, damping=0.7, solver="lu")
+        assert np.all(smw.converged)
+        assert np.max(np.abs(dense.voltages - smw.voltages)) < TOLERANCE
+        assert np.max(np.abs(dense.source_currents - smw.source_currents)) < TOLERANCE
+
+    def test_auto_uses_smw_for_ladder(self):
+        stamper = BatchedMNAStamper(common_source_ladder(stages=8, filter_nodes=2))
+        assert stamper.solver_kernel("auto") is not None
+
+    def test_auto_falls_back_to_dense_when_rank_too_high(self):
+        circuit = mosfet_heavy_circuit()
+        stamper = BatchedMNAStamper(circuit)
+        assert len(stamper._mosfets) > SMW_RANK_LIMIT_FRACTION * stamper.size
+        assert stamper.solver_kernel("auto") is None
+        # A forced SMW solve still matches the dense path even beyond the
+        # auto threshold — the threshold is a performance, not a
+        # correctness, boundary.
+        dense = solve_dc_batched(circuit, batch_size=3, damping=0.5, solver="dense")
+        smw = solve_dc_batched(circuit, batch_size=3, damping=0.5, solver="lu")
+        assert np.max(np.abs(dense.voltages - smw.voltages)) < TOLERANCE
+
+    def test_linear_circuit_single_cached_solve(self):
+        solution = solve_dc_batched(rc_lowpass(), batch_size=4, solver="lu")
+        assert np.allclose(solution.voltage("out"), 1.0)
+        assert np.all(solution.iterations == 1)
+
+    def test_kernel_cached_across_calls_on_shared_stamper(self):
+        circuit = common_source_amplifier()
+        stamper = BatchedMNAStamper(circuit)
+        kernel_first = stamper.solver_kernel("auto")
+        solve_dc_batched(circuit, batch_size=2, damping=0.5, stamper=stamper)
+        solve_dc_batched(circuit, batch_size=2, damping=0.5, stamper=stamper)
+        assert stamper.solver_kernel("auto") is kernel_first
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ValueError, match="unknown solver"):
+            solve_dc_batched(common_source_amplifier(), batch_size=1, solver="qr")
+
+
+class TestTransientSolverEquivalence:
+    WAVE = {"VIN": lambda t: 0.0 if t < 1e-9 else 0.9}
+
+    @pytest.mark.parametrize("sparse_static", [False, True])
+    def test_inverter_matches_dense_and_scalar(self, sparse_static):
+        shifts = np.random.default_rng(2).normal(0.0, 0.03, 6)
+        dense = solve_transient_batched(
+            loaded_cmos_inverter(),
+            stop_time=2e-9,
+            time_step=0.02e-9,
+            mismatch={"MN": {"vth": shifts}},
+            source_waveforms=self.WAVE,
+            solver="dense",
+        )
+        smw = solve_transient_batched(
+            loaded_cmos_inverter(),
+            stop_time=2e-9,
+            time_step=0.02e-9,
+            mismatch={"MN": {"vth": shifts}},
+            source_waveforms=self.WAVE,
+            solver="lu",
+            sparse_static=sparse_static,
+        )
+        assert np.max(np.abs(dense.data - smw.data)) < TOLERANCE
+        for index, shift in enumerate(shifts):
+            scalar = solve_transient(
+                loaded_cmos_inverter(shift),
+                stop_time=2e-9,
+                time_step=0.02e-9,
+                source_waveforms=self.WAVE,
+            )
+            assert np.max(
+                np.abs(scalar.voltage("out") - smw.voltage("out")[index])
+            ) < TOLERANCE
+
+    def test_transient_factorizes_once_per_scale(self):
+        circuit = loaded_cmos_inverter()
+        stamper = BatchedMNAStamper(circuit)
+        # Emulate the transient driver: a DC kernel and a backward-Euler
+        # kernel; repeated requests at the same scale hit the cache.
+        dc_kernel = stamper.solver_kernel("auto", 0.0)
+        step_kernel = stamper.solver_kernel("auto", 1.0 / 0.02e-9)
+        assert dc_kernel is not step_kernel
+        assert stamper.solver_kernel("auto", 1.0 / 0.02e-9) is step_kernel

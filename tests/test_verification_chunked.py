@@ -1,0 +1,217 @@
+"""Chunked full-MC verification must match the sequential schedule.
+
+Pass 2 of Algorithm 2 now evaluates h-SCORE-ordered chunks through the
+batched simulator.  For every seeded design of every circuit the chunked
+verifier must return the same pass/fail outcome, ``failed_corner``,
+``failure_stage`` and ``worst_reward`` as the strictly sequential schedule
+(``verification_chunk=1``), and its budget may exceed the sequential one by
+at most ``chunk - 1`` simulations (the over-simulation past the first
+failure inside the aborting chunk).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import DramCoreSenseAmp, FloatingInverterAmplifier, StrongArmLatch
+from repro.circuits.base import AnalogCircuit, SizingParameter
+from repro.core.config import VerificationMethod, operational_config
+from repro.core.replay import LastWorstCaseBuffer
+from repro.core.spec import DesignSpec
+from repro.core.verification import Verifier
+from repro.simulation import CircuitSimulator
+from repro.variation.distributions import DeviceKind, DeviceSpec
+
+ALL_CIRCUITS = [StrongArmLatch, FloatingInverterAmplifier, DramCoreSenseAmp]
+
+
+class MismatchProbeCircuit(AnalogCircuit):
+    """Synthetic testbench whose only metric tracks the sampled vth shift.
+
+    The paper's circuits are robust enough that random designs never reach
+    the full-MC abort (screening catches them first); this probe makes the
+    sample-level failure probability an explicit dial so the chunked budget
+    semantics can be pinned down exactly.
+    """
+
+    name = "mismatch_probe"
+
+    def _build_parameters(self):
+        return [SizingParameter("w", 1.0, 2.0, unit="um")]
+
+    def _build_constraints(self):
+        return {"margin": 1.0}
+
+    def _build_devices(self):
+        return [
+            DeviceSpec(
+                "D",
+                DeviceKind.NMOS,
+                width_of=lambda x: 0.04,
+                length_of=lambda x: 0.03,
+            )
+        ]
+
+    def _evaluate_physical_batch(self, x, corner, mismatch):
+        vth = np.asarray(mismatch["D"]["vth"], dtype=float)
+        # sigma(vth) ~ 0.058 V here, so ~1% of samples push the margin past
+        # its bound of 1.0 — screening usually passes, full MC usually fails.
+        return {"margin": 0.9 + 0.74 * vth}
+
+#: Odd on purpose: 11 - 3 = 8 extra samples split unevenly by chunks of 3.
+VERIFICATION_SAMPLES = 11
+
+
+def verify_with_chunk(
+    circuit_cls,
+    design,
+    chunk,
+    method=VerificationMethod.CORNER_LOCAL_MC,
+    seed=0,
+):
+    circuit = circuit_cls()
+    simulator = CircuitSimulator(circuit)
+    operational = operational_config(
+        method,
+        optimization_samples=3,
+        verification_samples=VERIFICATION_SAMPLES,
+        verification_chunk=chunk,
+    )
+    verifier = Verifier(
+        simulator,
+        DesignSpec.from_circuit(circuit),
+        operational,
+        rng=np.random.default_rng(seed),
+    )
+    outcome = verifier.verify(design, LastWorstCaseBuffer(operational.corners))
+    return outcome
+
+
+def seeded_designs(circuit_cls, count=4):
+    """Design candidates spanning hopeless, marginal and robust regions."""
+    rng = np.random.default_rng(hash(circuit_cls.name) % (2**32))
+    dimension = circuit_cls().dimension
+    designs = [rng.uniform(0.3, 0.8, dimension) for _ in range(count - 1)]
+    designs.append(np.full(dimension, 0.35))
+    return designs
+
+
+@pytest.mark.parametrize("circuit_cls", ALL_CIRCUITS)
+@pytest.mark.parametrize("chunk", [3, 8])
+def test_chunked_matches_sequential_outcome(circuit_cls, chunk):
+    for index, design in enumerate(seeded_designs(circuit_cls)):
+        sequential = verify_with_chunk(circuit_cls, design, chunk=1, seed=index)
+        chunked = verify_with_chunk(circuit_cls, design, chunk=chunk, seed=index)
+        assert chunked.passed == sequential.passed, (circuit_cls.name, index)
+        assert chunked.failed_corner == sequential.failed_corner
+        assert chunked.failure_stage == sequential.failure_stage
+        assert chunked.worst_reward == pytest.approx(
+            sequential.worst_reward, abs=1e-12
+        )
+        # Budget: identical when the design passes (or fails before the full
+        # pass); at most chunk-1 over-simulations past a full-MC abort.
+        if chunked.failure_stage == "full_mc":
+            assert 0 <= chunked.simulations - sequential.simulations <= chunk - 1
+        else:
+            assert chunked.simulations == sequential.simulations
+
+
+@pytest.mark.parametrize("chunk", [4, 8])
+def test_chunked_matches_sequential_global_local(chunk):
+    """Same equivalence under the C-MCG-L hierarchy (6 VT corners)."""
+    design = np.full(StrongArmLatch().dimension, 0.55)
+    sequential = verify_with_chunk(
+        StrongArmLatch,
+        design,
+        chunk=1,
+        method=VerificationMethod.CORNER_GLOBAL_LOCAL_MC,
+        seed=3,
+    )
+    chunked = verify_with_chunk(
+        StrongArmLatch,
+        design,
+        chunk=chunk,
+        method=VerificationMethod.CORNER_GLOBAL_LOCAL_MC,
+        seed=3,
+    )
+    assert chunked.passed == sequential.passed
+    assert chunked.failed_corner == sequential.failed_corner
+    assert chunked.failure_stage == sequential.failure_stage
+    assert chunked.worst_reward == pytest.approx(sequential.worst_reward, abs=1e-12)
+
+
+def probe_outcome(chunk, seed):
+    circuit = MismatchProbeCircuit()
+    simulator = CircuitSimulator(circuit)
+    operational = operational_config(
+        VerificationMethod.CORNER_LOCAL_MC,
+        optimization_samples=3,
+        verification_samples=VERIFICATION_SAMPLES,
+        verification_chunk=chunk,
+    )
+    verifier = Verifier(
+        simulator,
+        DesignSpec.from_circuit(circuit),
+        operational,
+        use_mu_sigma=False,  # reach pass 2 instead of the Eq.-7 screen
+        rng=np.random.default_rng(seed),
+    )
+    design = np.array([0.5])
+    return verifier.verify(design, LastWorstCaseBuffer(operational.corners))
+
+
+@pytest.mark.parametrize("chunk", [3, 8])
+def test_budget_charges_prefix_rounded_to_chunk(chunk):
+    """A full-MC failure charges the simulated prefix rounded to the chunk."""
+    corners = 30
+    screen_simulations = corners * 3
+    extras_per_corner = VERIFICATION_SAMPLES - 3
+    exercised = 0
+    for seed in range(40):
+        sequential = probe_outcome(chunk=1, seed=seed)
+        if sequential.failure_stage != "full_mc":
+            continue
+        exercised += 1
+        chunked = probe_outcome(chunk=chunk, seed=seed)
+        assert chunked.passed == sequential.passed
+        assert chunked.failed_corner == sequential.failed_corner
+        assert chunked.failure_stage == "full_mc"
+        assert chunked.worst_reward == pytest.approx(
+            sequential.worst_reward, abs=1e-12
+        )
+        # Exact accounting: identical screening + identical completed
+        # corners, then the aborting corner's prefix rounded up to the chunk.
+        prefix_total = sequential.simulations - screen_simulations
+        completed_corners = (prefix_total - 1) // extras_per_corner
+        prefix = prefix_total - completed_corners * extras_per_corner
+        charged_in_corner = min(
+            int(np.ceil(prefix / chunk)) * chunk, extras_per_corner
+        )
+        expected = (
+            screen_simulations
+            + completed_corners * extras_per_corner
+            + charged_in_corner
+        )
+        assert chunked.simulations == expected
+        if exercised >= 5:
+            break
+    assert exercised >= 3, "too few seeds exercised the full-MC abort"
+
+
+def test_simulations_field_reflects_charged_budget():
+    design = np.full(StrongArmLatch().dimension, 0.55)
+    circuit = StrongArmLatch()
+    simulator = CircuitSimulator(circuit)
+    operational = operational_config(
+        VerificationMethod.CORNER_LOCAL_MC,
+        optimization_samples=3,
+        verification_samples=VERIFICATION_SAMPLES,
+        verification_chunk=8,
+    )
+    verifier = Verifier(
+        simulator,
+        DesignSpec.from_circuit(circuit),
+        operational,
+        rng=np.random.default_rng(1),
+    )
+    outcome = verifier.verify(design, LastWorstCaseBuffer(operational.corners))
+    assert outcome.simulations == simulator.budget.verification_simulations
