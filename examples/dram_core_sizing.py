@@ -5,8 +5,9 @@ stronger NMOS sense path helps reading a '0' but hurts reading a '1' — plus
 an energy budget that punishes simply oversizing everything, and the
 offset-cancellation sense amplifier is extremely sensitive to local
 mismatch.  This example runs GLOVA under the corner + local Monte-Carlo
-scenario (``C-MCL``) and also demonstrates the verification phase on its own
-(mu-sigma screen, corner reordering by t-SCORE, MC reordering by h-SCORE).
+scenario (``C-MCL``) through the experiment facade, then demonstrates the
+verification phase on its own (mu-sigma screen, corner reordering by
+t-SCORE, MC reordering by h-SCORE) against the verified design.
 
 Run with::
 
@@ -17,8 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import GlovaConfig, GlovaOptimizer, VerificationMethod
-from repro.circuits import DramCoreSenseAmp
+from repro.api import ExperimentConfig, run_sizing
 from repro.core.replay import LastWorstCaseBuffer
 from repro.core.spec import DesignSpec
 from repro.core.verification import Verifier
@@ -26,51 +26,53 @@ from repro.simulation import CircuitSimulator
 
 
 def main() -> None:
-    circuit = DramCoreSenseAmp()
-    print(circuit.describe())
-    print()
-
-    config = GlovaConfig(
-        verification=VerificationMethod.CORNER_LOCAL_MC,
-        seed=0,
+    config = ExperimentConfig(
+        circuit="dram",
+        method="C-MCL",
+        seeds=(0,),
         max_iterations=200,
         initial_samples=40,
         verification_samples=20,
     )
-    optimizer = GlovaOptimizer(circuit, config)
-    result = optimizer.run()
-    print(result.summary())
+    circuit = config.build_circuit()
+    print(circuit.describe())
+    print()
 
-    if not result.success:
+    report = run_sizing(config)
+    print(report.summary())
+
+    best = report.best_run
+    if best is None:
         print("No verified design within budget; rerun with more iterations.")
         return
 
     print("\nVerified sizing (physical units):")
-    for parameter, value in zip(circuit.parameters, result.final_design_physical):
+    for parameter, value in zip(circuit.parameters, best.final_design_physical):
         print(f"  {parameter.name:<14} = {value:.4g} {parameter.unit}")
 
     print("\nSensing performance at the typical condition:")
-    for metric, value in result.final_metrics.items():
+    for metric, value in best.final_metrics.items():
         bound = circuit.constraints[metric]
         print(f"  {metric:<16} = {value:.4g}   (target <= {bound:.4g})")
 
     # ------------------------------------------------------------------
     # Standalone verification of the final design, to show the verification
-    # phase's bookkeeping (Algorithm 2).
+    # phase's bookkeeping (Algorithm 2) on top of the simulation service.
     # ------------------------------------------------------------------
     print("\n=== Standalone hierarchical verification of the GLOVA design ===")
     simulator = CircuitSimulator(circuit)
     spec = DesignSpec.from_circuit(circuit)
-    operational = config.operational()
+    glova_config = config.glova_config(config.seeds[0])
+    operational = glova_config.operational()
     verifier = Verifier(
         simulator,
         spec,
         operational,
-        beta2=config.reliability_beta2,
+        beta2=glova_config.reliability_beta2,
         rng=np.random.default_rng(1),
     )
     outcome = verifier.verify(
-        result.final_design, LastWorstCaseBuffer(operational.corners)
+        np.array(best.final_design), LastWorstCaseBuffer(operational.corners)
     )
     budget = operational.total_verification_simulations
     print(f"verification passed: {outcome.passed}")

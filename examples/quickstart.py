@@ -1,9 +1,11 @@
 """Quickstart: size a StrongARM latch across all PVT corners with GLOVA.
 
 Runs the complete framework — TuRBO initial sampling, risk-sensitive RL
-optimization, and hierarchical corner verification — on the StrongARM latch
-testcase with the corner-only (``C``) verification scenario, then prints the
-verified sizing and its performance at the typical condition.
+optimization, and hierarchical corner verification — through the top-level
+experiment facade (:mod:`repro.api`), then prints the verified sizing and
+its performance at the typical condition.  The command-line equivalent is::
+
+    python -m repro --circuit sal --method C --seeds 0 --max-iterations 80
 
 Run with::
 
@@ -12,37 +14,37 @@ Run with::
 
 from __future__ import annotations
 
-from repro import GlovaConfig, GlovaOptimizer, VerificationMethod
-from repro.circuits import StrongArmLatch
+from repro.api import ExperimentConfig, run_sizing
 
 
 def main() -> None:
-    circuit = StrongArmLatch()
-    print(circuit.describe())
-    print()
-
-    config = GlovaConfig(
-        verification=VerificationMethod.CORNER,
-        seed=0,
+    config = ExperimentConfig(
+        circuit="sal",
+        method="C",
+        seeds=(0,),
         max_iterations=80,
         initial_samples=40,
     )
-    optimizer = GlovaOptimizer(circuit, config)
-    result = optimizer.run()
-
-    print(result.summary())
+    circuit = config.build_circuit()
+    print(circuit.describe())
     print()
-    if not result.success:
+
+    report = run_sizing(config)
+    print(report.summary())
+    print()
+
+    best = report.best_run
+    if best is None:
         print("No verified design found within the iteration budget; "
               "try more iterations or a different seed.")
         return
 
     print("Verified sizing (physical units):")
-    for parameter, value in zip(circuit.parameters, result.final_design_physical):
+    for parameter, value in zip(circuit.parameters, best.final_design_physical):
         print(f"  {parameter.name:<14} = {value:.4g} {parameter.unit}")
     print()
     print("Performance at the typical condition (TT / 0.9 V / 27 C):")
-    for metric, value in result.final_metrics.items():
+    for metric, value in best.final_metrics.items():
         bound = circuit.constraints[metric]
         print(f"  {metric:<14} = {value:.4g}   (target <= {bound:.4g})")
 

@@ -1,10 +1,11 @@
-"""Regenerate one Table-II block from the public API.
+"""Regenerate one Table-II block from the experiment facade.
 
 Runs GLOVA, the PVTSizing-style baseline and the RobustAnalog-style baseline
 on the StrongARM latch under the corner (``C``) and corner + local-MC
-(``C-MCL``) verification scenarios, then prints the same four rows the paper
-reports: RL iterations, number of simulations, normalized runtime, and
-success rate.  This is the scripting equivalent of
+(``C-MCL``) verification scenarios — one :func:`repro.api.run_comparison`
+call per scenario — then prints the same four rows the paper reports:
+RL iterations, number of simulations, normalized runtime, and success rate.
+This is the scripting equivalent of
 ``pytest benchmarks/test_table2_sal.py --benchmark-only``.
 
 Run with::
@@ -14,33 +15,24 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis import (
-    ExperimentRunner,
-    ExperimentSettings,
-    format_comparison_table,
-)
-from repro.core.config import VerificationMethod
+from repro.analysis import format_comparison_table
+from repro.api import ExperimentConfig, run_comparison
 
 
 def main() -> None:
-    scenarios = {
-        "C": VerificationMethod.CORNER,
-        "C-MCL": VerificationMethod.CORNER_LOCAL_MC,
-    }
+    config = ExperimentConfig(
+        circuit="sal",
+        seeds=(0,),
+        max_iterations=120,
+        initial_samples=40,
+        verification_samples=20,
+    )
     block = {}
-    for label, verification in scenarios.items():
-        settings = ExperimentSettings(
-            circuit_name="sal",
-            verification=verification,
-            seeds=(0,),
-            max_iterations=120,
-            initial_samples=40,
-            verification_samples=20,
-        )
-        runner = ExperimentRunner(settings)
+    for label in ("C", "C-MCL"):
         print(f"running methods for scenario {label} ...")
-        block[label] = runner.compare_methods(
-            methods=("glova", "pvtsizing", "robustanalog")
+        block[label] = run_comparison(
+            config.with_overrides(method=label),
+            algorithms=("glova", "pvtsizing", "robustanalog"),
         )
 
     print()

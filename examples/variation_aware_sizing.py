@@ -3,9 +3,10 @@
 This example exercises the paper's hardest verification scenario shape
 (``C-MCG-L``): the process axis is statistical (die-to-die global variation
 plus within-die local mismatch sampled hierarchically, Eq. 3) and the design
-must pass every sampled die at every VT corner.  It then contrasts the
-verified GLOVA design with the *nominal-only* design a variation-blind
-optimizer would pick, showing the failure rate gap under Monte Carlo.
+must pass every sampled die at every VT corner.  The GLOVA run itself is one
+facade call (:func:`repro.api.run_sizing`); the example then contrasts the
+verified design with the *nominal-only* design a variation-blind optimizer
+would pick, showing the failure rate gap under Monte Carlo.
 
 Run with::
 
@@ -16,8 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import GlovaConfig, GlovaOptimizer, VerificationMethod
-from repro.circuits import FloatingInverterAmplifier
+from repro.api import ExperimentConfig, run_sizing
 from repro.core.reward import reward_from_metrics
 from repro.core.spec import DesignSpec
 from repro.core.turbo import TurboSampler
@@ -62,29 +62,32 @@ def nominal_only_design(circuit, seed=0, budget=120):
 
 
 def main() -> None:
-    circuit = FloatingInverterAmplifier()
-
-    print("=== GLOVA: global-local variation-aware sizing (C-MCG-L) ===")
-    config = GlovaConfig(
-        verification=VerificationMethod.CORNER_GLOBAL_LOCAL_MC,
-        seed=0,
+    config = ExperimentConfig(
+        circuit="fia",
+        method="C-MCG-L",
+        seeds=(0,),
         max_iterations=150,
         initial_samples=40,
         verification_samples=60,
     )
-    result = GlovaOptimizer(circuit, config).run()
-    print(result.summary())
+    circuit = config.build_circuit()
+
+    print("=== GLOVA: global-local variation-aware sizing (C-MCG-L) ===")
+    report = run_sizing(config)
+    print(report.summary())
 
     print("\n=== Comparison with a nominal-only (variation-blind) design ===")
     blind = nominal_only_design(circuit)
     blind_rate = monte_carlo_failure_rate(circuit, blind)
     print(f"nominal-only design: {blind_rate:.1%} of global-local MC samples fail")
 
-    if result.success:
-        robust_rate = monte_carlo_failure_rate(circuit, result.final_design)
+    best = report.best_run
+    if best is not None:
+        design = np.array(best.final_design)
+        robust_rate = monte_carlo_failure_rate(circuit, design)
         print(f"GLOVA design:        {robust_rate:.1%} of global-local MC samples fail")
         print("\nVerified sizing (physical units):")
-        for parameter, value in zip(circuit.parameters, result.final_design_physical):
+        for parameter, value in zip(circuit.parameters, best.final_design_physical):
             print(f"  {parameter.name:<14} = {value:.4g} {parameter.unit}")
 
 

@@ -7,12 +7,22 @@ This package reproduces the system described in
 
 The public API is re-exported here so downstream users can write::
 
+    from repro import ExperimentConfig, run_sizing
+
+    report = run_sizing(ExperimentConfig(circuit="sal", method="C-MCL"))
+    print(report.summary())
+
+or drive the framework objects directly::
+
     from repro import GlovaOptimizer, GlovaConfig, VerificationMethod
     from repro.circuits import StrongArmLatch
 
     circuit = StrongArmLatch()
     config = GlovaConfig(verification=VerificationMethod.CORNER_LOCAL_MC)
     result = GlovaOptimizer(circuit, config).run()
+
+The same facade is scriptable from the shell: ``python -m repro --circuit
+sal --method C-MCL`` (installed as the ``repro`` console script).
 
 Subpackages
 -----------
@@ -33,6 +43,50 @@ Subpackages
     PVTSizing- and RobustAnalog-style baselines used in Table II.
 ``repro.analysis``
     Experiment orchestration and table formatting for the paper's evaluation.
+``repro.api``
+    The top-level experiment facade (declarative configs, serializable
+    reports, the ``python -m repro`` CLI).
+
+Architecture
+------------
+Every consumer reaches the simulator through **one request/response
+service** (:mod:`repro.simulation.service`)::
+
+    optimizer / verifier / baselines / examples / CLI
+                        |
+                 CircuitSimulator          (compat shim: 5 entry points
+                        |                   compile to SimJob)
+               SimulationService.run(job)  (budget accounting lives here)
+                        |
+         CachingBackend (optional, job-hash memoization, hit = 0 budget)
+                        |
+         ShardedDispatcher (optional, workers > 1: splits ANY job axis —
+                        |   mismatch rows, corner rows, design rows —
+                        |   across a process pool, bit-identical)
+                        |
+         BatchedMNABackend | ReferenceScalarBackend | (future: ngspice,
+                            remote workers, ...)
+
+A :class:`~repro.simulation.service.SimJob` is a frozen value object —
+design block × corner block × mismatch block + phase tag — with a
+deterministic content hash used for caching and idempotent budget charges.
+Backends implement ``evaluate(circuit, job) -> {metric: (B,) array}`` and
+are registered by name (``repro.simulation.BACKENDS``), so worker
+processes can rebuild them and configs can select them declaratively.
+
+Migration table (legacy entry point → job compilation):
+
+=============================================  =================================
+``CircuitSimulator.simulate(x, t, h)``         ``SimJob.conditions(name, x, (t,), h[None])``
+``simulate_mismatch_set(x, t, H)``             ``SimJob.conditions(name, x, (t,), H.samples)``
+``simulate_corners(x, T, h)``                  ``SimJob.conditions(name, x, T, tile(h))``
+``simulate_corner_sweep(x, T, [H_i])``         ``SimJob.conditions(name, x, repeat(T), vstack(H_i))``
+``simulate_designs(X, t)``                     ``SimJob.design_batch(name, X, t)``
+=============================================  =================================
+
+Circuits are looked up by name through :mod:`repro.circuits.registry`
+(``@register_circuit`` for testbenches, ``register_circuit_factory`` for
+parameterized netlists such as ``common_source_ladder``).
 
 Performance
 -----------
@@ -96,6 +150,18 @@ from repro.core.optimizer import GlovaOptimizer
 from repro.core.result import OptimizationResult
 from repro.core.spec import DesignSpec, Constraint
 
+#: Facade names resolved lazily so ``import repro`` stays light and the
+#: baselines/analysis stack only loads when the facade is actually used.
+_API_EXPORTS = (
+    "ExperimentConfig",
+    "ExperimentReport",
+    "RunReport",
+    "run_sizing",
+    "run_baseline",
+    "run_experiment",
+    "run_comparison",
+)
+
 __all__ = [
     "__version__",
     "GlovaConfig",
@@ -105,4 +171,13 @@ __all__ = [
     "OptimizationResult",
     "DesignSpec",
     "Constraint",
+    *_API_EXPORTS,
 ]
+
+
+def __getattr__(name):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,220 @@
+"""Command-line driver for the experiment facade (``python -m repro``).
+
+Examples::
+
+    # Inspect the resolved experiment without spending any simulations.
+    python -m repro --circuit sal --method C --dry-run
+
+    # Size the StrongARM latch under corner + local-MC verification.
+    python -m repro --circuit sal --method C-MCL --seeds 0,1 --output report.json
+
+    # Run a Table-II baseline on the DRAM core.
+    python -m repro --circuit dram --method C --algorithm pvtsizing
+
+    # What can I name?
+    python -m repro --list-circuits
+
+The same binary is installed as the ``repro`` console script (setup.py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro import api
+from repro.circuits.registry import (
+    NETLIST,
+    TESTBENCH,
+    available_circuits,
+    get_circuit,
+    registered_entry,
+)
+from repro.simulation import BACKENDS
+from repro.version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "GLOVA reproduction: variation-aware analog circuit sizing "
+            "with risk-sensitive RL"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--list-circuits",
+        action="store_true",
+        help="list registered circuits (testbenches and netlists) and exit",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PATH",
+        help="load an ExperimentConfig JSON file (flags override its fields)",
+    )
+    parser.add_argument("--circuit", help="circuit name or alias (e.g. sal)")
+    parser.add_argument(
+        "--method",
+        choices=sorted(api.METHODS),
+        help="verification scenario (Table I)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=sorted(api.ALGORITHMS),
+        help="sizing algorithm (default: glova)",
+    )
+    parser.add_argument(
+        "--seeds", help="comma-separated RNG seeds, e.g. 0,1,2 (default: 0)"
+    )
+    parser.add_argument("--max-iterations", type=int, metavar="N")
+    parser.add_argument("--initial-samples", type=int, metavar="N")
+    parser.add_argument(
+        "--optimization-samples", type=int, metavar="N", help="N' per iteration"
+    )
+    parser.add_argument(
+        "--verification-samples", type=int, metavar="N", help="N per corner"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        help="simulation backend (default: batched)",
+    )
+    parser.add_argument(
+        "--workers", type=int, metavar="N", help="process-pool shard count"
+    )
+    # BooleanOptionalAction keeps the default None so only explicitly
+    # given flags (--cache / --no-cache) override a --config file's value.
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="memoize simulations by job hash (hits charge zero budget)",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="use the paper's full Table-I Monte-Carlo budgets",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the resolved experiment plan and exit without simulating",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", help="write the experiment report JSON here"
+    )
+    return parser
+
+
+def _list_circuits() -> None:
+    print("Testbench circuits (sizing targets):")
+    for name in available_circuits(TESTBENCH):
+        circuit = get_circuit(name)
+        print(
+            f"  {name:<28} {circuit.dimension:>2} parameters, "
+            f"{len(circuit.metric_names)} metrics"
+        )
+    print("Netlist factories (solver benchmarks):")
+    for name in available_circuits(NETLIST):
+        print(f"  {name}")
+
+
+def _resolve_config(args: argparse.Namespace) -> api.ExperimentConfig:
+    payload = {}
+    if args.config:
+        with open(args.config, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"config file {args.config} must contain a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+    overrides = {
+        "circuit": args.circuit,
+        "method": args.method,
+        "algorithm": args.algorithm,
+        "max_iterations": args.max_iterations,
+        "initial_samples": args.initial_samples,
+        "optimization_samples": args.optimization_samples,
+        "verification_samples": args.verification_samples,
+        "backend": args.backend,
+        "workers": args.workers,
+        "cache_simulations": args.cache,
+        "paper_scale": args.paper_scale,
+    }
+    if args.seeds is not None:
+        overrides["seeds"] = [int(s) for s in args.seeds.split(",") if s != ""]
+    payload.update({k: v for k, v in overrides.items() if v is not None})
+    return api.ExperimentConfig.from_dict(payload)
+
+
+def _print_dry_run(config: api.ExperimentConfig) -> None:
+    circuit = config.build_circuit()
+    glova = config.glova_config(config.seeds[0])
+    operational = glova.operational()
+    print("=== dry run: resolved experiment (no simulations charged) ===")
+    print(config.to_json())
+    print()
+    print(circuit.describe())
+    print()
+    print(f"Algorithm:            {config.algorithm}")
+    print(f"Verification method:  {operational.method.value}")
+    print(f"Predefined corners:   {len(operational.corners)}")
+    print(f"N' (optimization):    {operational.optimization_samples}")
+    print(f"N (verification):     {operational.verification_samples}")
+    print(
+        f"Full verification:    "
+        f"{operational.total_verification_simulations} simulations/pass"
+    )
+    print(
+        f"Backend:              {operational.backend} "
+        f"(workers={operational.workers}, "
+        f"cache={'on' if operational.cache_simulations else 'off'})"
+    )
+    print(f"Seeds:                {list(config.seeds)}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_circuits:
+        _list_circuits()
+        return 0
+
+    # A netlist name is valid for --list-circuits but not for sizing runs;
+    # fail with the registry's context before building an ExperimentConfig.
+    if args.circuit is not None:
+        entry = registered_entry(args.circuit)
+        if entry is not None and entry.kind == NETLIST:
+            parser.error(
+                f"{args.circuit!r} is a netlist factory, not a sizing "
+                f"testbench; choose from {available_circuits()}"
+            )
+
+    try:
+        config = _resolve_config(args)
+    except (ValueError, TypeError, OSError, json.JSONDecodeError) as error:
+        parser.error(str(error))
+
+    if args.dry_run:
+        _print_dry_run(config)
+        return 0
+
+    report = api.run_experiment(config)
+    print(report.summary())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

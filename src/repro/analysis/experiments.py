@@ -5,22 +5,20 @@ different seeds on one circuit and aggregates the outcomes the way the
 paper's tables do.  Benchmarks construct it with reduced Monte-Carlo budgets
 so the suite stays laptop-friendly; ``paper_scale=True`` restores the full
 Table-I budgets.
+
+Since the facade redesign this module is a thin veneer: every run is
+delegated to :mod:`repro.api` (one :class:`~repro.api.ExperimentConfig`
+per method/seed sweep), so the benchmarks and the public facade share one
+orchestration path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
-
-import numpy as np
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.analysis.metrics import MethodSummary, aggregate_results, normalize_runtimes
-from repro.baselines.pvtsizing import PVTSizingOptimizer
-from repro.baselines.robustanalog import RobustAnalogOptimizer
-from repro.circuits.base import AnalogCircuit
-from repro.circuits.registry import get_circuit
 from repro.core.config import GlovaConfig, VerificationMethod
-from repro.core.optimizer import GlovaOptimizer
 from repro.core.result import OptimizationResult
 
 
@@ -38,18 +36,25 @@ class ExperimentSettings:
     paper_scale: bool = False
 
     def build_config(self, seed: int, **overrides) -> GlovaConfig:
-        verification_samples = self.verification_samples
-        if self.paper_scale:
-            verification_samples = None  # use the Table-I default budgets
-        config = GlovaConfig(
-            verification=self.verification,
-            seed=seed,
+        """The per-seed :class:`GlovaConfig` (via the facade's one mapping)."""
+        return self.experiment_config("glova", **overrides).glova_config(seed)
+
+    def experiment_config(self, algorithm: str = "glova", **overrides):
+        """The equivalent :class:`repro.api.ExperimentConfig` for one method."""
+        from repro.api import ExperimentConfig
+
+        return ExperimentConfig(
+            circuit=self.circuit_name,
+            method=self.verification.value,
+            algorithm=algorithm,
+            seeds=tuple(self.seeds),
             max_iterations=self.max_iterations,
             initial_samples=self.initial_samples,
             optimization_samples=self.optimization_samples,
-            verification_samples=verification_samples,
+            verification_samples=self.verification_samples,
+            paper_scale=self.paper_scale,
+            overrides=overrides,
         )
-        return config.with_overrides(**overrides)
 
 
 class ExperimentRunner:
@@ -59,37 +64,41 @@ class ExperimentRunner:
         self.settings = settings
 
     # ------------------------------------------------------------------
-    def _circuit(self) -> AnalogCircuit:
-        return get_circuit(self.settings.circuit_name)
-
-    def run_glova(self, seed: int, **config_overrides) -> OptimizationResult:
-        config = self.settings.build_config(seed, **config_overrides)
-        optimizer = GlovaOptimizer(self._circuit(), config)
-        return optimizer.run()
-
-    def run_pvtsizing(self, seed: int) -> OptimizationResult:
-        config = self.settings.build_config(seed)
-        optimizer = PVTSizingOptimizer(self._circuit(), config)
-        return optimizer.run()
-
-    def run_robustanalog(self, seed: int) -> OptimizationResult:
-        config = self.settings.build_config(seed)
-        optimizer = RobustAnalogOptimizer(self._circuit(), config)
-        return optimizer.run()
-
-    # ------------------------------------------------------------------
     def run_method(
         self, method: str, **config_overrides
     ) -> List[OptimizationResult]:
-        """Run one method for every seed."""
-        runners: Dict[str, Callable[[int], OptimizationResult]] = {
-            "glova": lambda seed: self.run_glova(seed, **config_overrides),
-            "pvtsizing": self.run_pvtsizing,
-            "robustanalog": self.run_robustanalog,
-        }
-        if method not in runners:
-            raise KeyError(f"unknown method {method!r}")
-        return [runners[method](seed) for seed in self.settings.seeds]
+        """Run one method for every seed (delegates to :mod:`repro.api`)."""
+        from repro import api
+
+        try:
+            config = self.settings.experiment_config(method, **config_overrides)
+        except ValueError as error:
+            raise KeyError(str(error)) from None
+        return api.run_experiment(config).results
+
+    def run_glova(self, seed: int, **config_overrides) -> OptimizationResult:
+        from repro import api
+
+        config = self.settings.experiment_config("glova", **config_overrides)
+        return api.run_experiment(
+            config.with_overrides(seeds=(seed,))
+        ).results[0]
+
+    def run_pvtsizing(self, seed: int) -> OptimizationResult:
+        from repro import api
+
+        config = self.settings.experiment_config("pvtsizing")
+        return api.run_experiment(
+            config.with_overrides(seeds=(seed,))
+        ).results[0]
+
+    def run_robustanalog(self, seed: int) -> OptimizationResult:
+        from repro import api
+
+        config = self.settings.experiment_config("robustanalog")
+        return api.run_experiment(
+            config.with_overrides(seeds=(seed,))
+        ).results[0]
 
     def compare_methods(
         self, methods: Sequence[str] = ("glova", "pvtsizing", "robustanalog")

@@ -1,0 +1,334 @@
+"""Top-level experiment facade: declarative configs in, reports out.
+
+Everything the examples, the CLI (``python -m repro``) and downstream
+scripts need lives behind three calls::
+
+    from repro.api import ExperimentConfig, run_sizing
+
+    config = ExperimentConfig(circuit="sal", method="C-MCL", seeds=(0,))
+    report = run_sizing(config)
+    print(report.summary())
+
+* :class:`ExperimentConfig` is a plain declarative object — circuit,
+  verification method, algorithm, budgets, backend, workers, seeds — with
+  a lossless dict/JSON round trip, so experiment definitions can live in
+  version-controlled JSON files and travel to remote workers.
+* :func:`run_sizing` runs the GLOVA framework; :func:`run_baseline` runs
+  one of the Table-II baselines; :func:`run_experiment` dispatches on
+  ``config.algorithm``; :func:`run_comparison` produces the normalized
+  Table-II style method summaries.
+* :class:`ExperimentReport` aggregates the per-seed outcomes into a fully
+  JSON-serializable record (designs and metrics as plain lists/dicts).
+
+The facade builds on the service-oriented simulation stack
+(:mod:`repro.simulation.service`): ``backend``, ``workers`` and
+``cache_simulations`` plumb straight through to the
+:class:`~repro.simulation.service.SimulationService` every optimizer uses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import (
+    MethodSummary,
+    aggregate_results,
+    normalize_runtimes,
+)
+from repro.baselines import (
+    PVTSizingOptimizer,
+    RandomSearchOptimizer,
+    RobustAnalogOptimizer,
+)
+from repro.circuits.registry import (
+    TESTBENCH,
+    available_circuits,
+    get_circuit,
+    registered_entry,
+)
+from repro.core.config import GlovaConfig, VerificationMethod
+from repro.core.optimizer import GlovaOptimizer
+from repro.core.result import OptimizationResult
+
+#: Verification scenario labels accepted by :attr:`ExperimentConfig.method`
+#: — derived from the enum so new scenarios are available automatically.
+METHODS: Dict[str, VerificationMethod] = {
+    method.value: method for method in VerificationMethod
+}
+
+#: Sizing algorithms accepted by :attr:`ExperimentConfig.algorithm`.
+ALGORITHMS: Dict[str, type] = {
+    "glova": GlovaOptimizer,
+    "pvtsizing": PVTSizingOptimizer,
+    "robustanalog": RobustAnalogOptimizer,
+    "random_search": RandomSearchOptimizer,
+}
+
+#: Algorithms usable through :func:`run_baseline`.
+BASELINE_ALGORITHMS = tuple(name for name in ALGORITHMS if name != "glova")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One declarative experiment: what to size, how, and at what scale.
+
+    All fields are JSON-scalar (or tuples/dicts thereof), so
+    ``ExperimentConfig.from_dict(config.to_dict()) == config`` holds
+    exactly — the round trip is tested.
+    """
+
+    circuit: str = "sal"
+    method: str = "C"
+    algorithm: str = "glova"
+    seeds: Tuple[int, ...] = (0,)
+    max_iterations: int = 60
+    initial_samples: int = 40
+    optimization_samples: int = 3
+    verification_samples: Optional[int] = None
+    backend: str = "batched"
+    workers: int = 1
+    cache_simulations: bool = False
+    verification_chunk: int = 8
+    paper_scale: bool = False
+    #: Extra :class:`GlovaConfig` field overrides (ablation switches etc.).
+    #: Excluded from the generated ``__hash__`` (dicts are unhashable) so
+    #: frozen configs remain usable as dict keys.
+    overrides: Dict[str, Any] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(self, "overrides", dict(self.overrides))
+        if not self.seeds:
+            raise ValueError("an experiment needs at least one seed")
+        if self.method not in METHODS:
+            raise ValueError(
+                f"unknown verification method {self.method!r}; "
+                f"available: {sorted(METHODS)}"
+            )
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"available: {sorted(ALGORITHMS)}"
+            )
+        entry = registered_entry(self.circuit)
+        if entry is None or entry.kind != TESTBENCH:
+            raise ValueError(
+                f"unknown sizing circuit {self.circuit!r}; "
+                f"available: {available_circuits()}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def verification(self) -> VerificationMethod:
+        return METHODS[self.method]
+
+    def build_circuit(self):
+        return get_circuit(self.circuit)
+
+    def glova_config(self, seed: int) -> GlovaConfig:
+        """The per-seed framework configuration this experiment implies."""
+        verification_samples = self.verification_samples
+        if self.paper_scale:
+            verification_samples = None  # Table-I default budgets
+        config = GlovaConfig(
+            verification=self.verification,
+            seed=seed,
+            max_iterations=self.max_iterations,
+            initial_samples=self.initial_samples,
+            optimization_samples=self.optimization_samples,
+            verification_samples=verification_samples,
+            verification_chunk=self.verification_chunk,
+            workers=self.workers,
+            backend=self.backend,
+            cache_simulations=self.cache_simulations,
+        )
+        return config.with_overrides(**self.overrides)
+
+    def with_overrides(self, **kwargs: Any) -> "ExperimentConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["seeds"] = list(self.seeds)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentConfig":
+        unknown = set(payload) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentConfig fields: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentConfig":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class RunReport:
+    """One seed's outcome, reduced to JSON-serializable fields."""
+
+    seed: int
+    success: bool
+    iterations: int
+    simulations: Dict[str, int]
+    runtime: float
+    verification_attempts: int
+    method: str
+    circuit: str
+    final_design: Optional[List[float]] = None
+    final_design_physical: Optional[List[float]] = None
+    final_metrics: Optional[Dict[str, float]] = None
+
+    @classmethod
+    def from_result(cls, seed: int, result: OptimizationResult) -> "RunReport":
+        def listify(array: Optional[np.ndarray]) -> Optional[List[float]]:
+            return None if array is None else [float(v) for v in array]
+
+        return cls(
+            seed=seed,
+            success=result.success,
+            iterations=result.iterations,
+            simulations=dict(result.simulations),
+            runtime=float(result.runtime),
+            verification_attempts=result.verification_attempts,
+            method=result.method,
+            circuit=result.circuit,
+            final_design=listify(result.final_design),
+            final_design_physical=listify(result.final_design_physical),
+            final_metrics=(
+                None
+                if result.final_metrics is None
+                else {k: float(v) for k, v in result.final_metrics.items()}
+            ),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class ExperimentReport:
+    """Aggregated, serializable outcome of one :class:`ExperimentConfig`."""
+
+    config: ExperimentConfig
+    runs: List[RunReport]
+    #: The raw per-seed results (not serialized; used by table aggregation).
+    results: List[OptimizationResult] = field(default_factory=list, repr=False)
+
+    @property
+    def success_rate(self) -> float:
+        return (
+            sum(run.success for run in self.runs) / len(self.runs)
+            if self.runs
+            else 0.0
+        )
+
+    @property
+    def best_run(self) -> Optional[RunReport]:
+        """The successful run with the fewest simulations, if any."""
+        successes = [run for run in self.runs if run.success]
+        if not successes:
+            return None
+        return min(successes, key=lambda run: run.simulations.get("total", 0))
+
+    @property
+    def total_simulations(self) -> int:
+        return sum(run.simulations.get("total", 0) for run in self.runs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "config": self.config.to_dict(),
+            "success_rate": self.success_rate,
+            "total_simulations": self.total_simulations,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        """A short human-readable account of the experiment."""
+        lines = [
+            f"{self.config.algorithm} on {self.config.circuit} "
+            f"[{self.config.method}] — "
+            f"{len(self.runs)} run(s), success rate {self.success_rate:.0%}, "
+            f"{self.total_simulations} simulations total"
+        ]
+        for run in self.runs:
+            status = "SUCCESS" if run.success else "FAILED"
+            lines.append(
+                f"  seed {run.seed}: [{status}] {run.iterations} iterations, "
+                f"{run.simulations.get('total', 0)} simulations, "
+                f"runtime {run.runtime:.1f} (modelled units)"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def _run_seed(config: ExperimentConfig, seed: int) -> OptimizationResult:
+    circuit = config.build_circuit()
+    optimizer_cls = ALGORITHMS[config.algorithm]
+    optimizer = optimizer_cls(circuit, config.glova_config(seed))
+    return optimizer.run()
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentReport:
+    """Run ``config.algorithm`` for every seed and aggregate a report."""
+    results = [_run_seed(config, seed) for seed in config.seeds]
+    runs = [
+        RunReport.from_result(seed, result)
+        for seed, result in zip(config.seeds, results)
+    ]
+    return ExperimentReport(config=config, runs=runs, results=results)
+
+
+def run_sizing(config: ExperimentConfig) -> ExperimentReport:
+    """Run the GLOVA variation-aware sizing framework for ``config``.
+
+    Mirrors :func:`run_baseline`: a config naming a different algorithm is
+    rejected rather than silently re-labelled.
+    """
+    if config.algorithm != "glova":
+        raise ValueError(
+            f"run_sizing runs the 'glova' algorithm, got "
+            f"{config.algorithm!r}; use run_baseline or run_experiment"
+        )
+    return run_experiment(config)
+
+
+def run_baseline(config: ExperimentConfig) -> ExperimentReport:
+    """Run one of the Table-II baselines for ``config``."""
+    if config.algorithm not in BASELINE_ALGORITHMS:
+        raise ValueError(
+            f"run_baseline needs a baseline algorithm "
+            f"{sorted(BASELINE_ALGORITHMS)}, got {config.algorithm!r}"
+        )
+    return run_experiment(config)
+
+
+def run_comparison(
+    config: ExperimentConfig,
+    algorithms: Sequence[str] = ("glova", "pvtsizing", "robustanalog"),
+) -> List[MethodSummary]:
+    """Run several algorithms under one config; normalized Table-II rows."""
+    summaries = []
+    for algorithm in algorithms:
+        report = run_experiment(config.with_overrides(algorithm=algorithm))
+        summaries.append(
+            aggregate_results(algorithm, config.method, report.results)
+        )
+    return normalize_runtimes(summaries, reference_method="glova")

@@ -54,7 +54,11 @@ class BaselineOptimizer(abc.ABC):
             verification_parallelism=self.config.verification_parallelism,
         )
         self.simulator = CircuitSimulator(
-            circuit, self.budget, workers=self.operational.workers
+            circuit,
+            self.budget,
+            workers=self.operational.workers,
+            backend=self.operational.backend,
+            cache=self.operational.cache_simulations,
         )
         self.last_worst = LastWorstCaseBuffer(self.operational.corners)
         self.mismatch_sampler = MismatchSampler(

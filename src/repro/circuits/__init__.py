@@ -14,13 +14,22 @@ the paper:
 
 The circuits are behavioural performance models built on the device physics
 in :mod:`repro.spice`; see DESIGN.md for the substitution rationale.
+
+The circuits self-register with :mod:`repro.circuits.registry` via the
+``@register_circuit`` decorator; parameterized netlist builders register
+through :func:`~repro.circuits.registry.register_circuit_factory`.
 """
 
 from repro.circuits.base import AnalogCircuit, SizingParameter
 from repro.circuits.strongarm import StrongArmLatch
 from repro.circuits.fia import FloatingInverterAmplifier
 from repro.circuits.dram_core import DramCoreSenseAmp
-from repro.circuits.registry import available_circuits, get_circuit
+from repro.circuits.registry import (
+    available_circuits,
+    get_circuit,
+    register_circuit,
+    register_circuit_factory,
+)
 
 __all__ = [
     "AnalogCircuit",
@@ -30,4 +39,6 @@ __all__ = [
     "DramCoreSenseAmp",
     "available_circuits",
     "get_circuit",
+    "register_circuit",
+    "register_circuit_factory",
 ]

@@ -39,6 +39,7 @@ from typing import Dict, Sequence
 import numpy as np
 
 from repro.circuits.base import AnalogCircuit, SizingParameter
+from repro.circuits.registry import register_circuit
 from repro.spice.mosfet import BOLTZMANN, MosfetModel, nmos_28nm, pmos_28nm
 from repro.variation.corners import PVTCorner
 from repro.variation.distributions import DeviceKind, DeviceSpec
@@ -80,6 +81,7 @@ _SH_WIDTH_RANGE = (5.0 * _MICRON, 15.0 * _MICRON)
 _LENGTH_RANGE = (0.03 * _MICRON, 0.06 * _MICRON)
 
 
+@register_circuit(aliases=("dram",))
 class DramCoreSenseAmp(AnalogCircuit):
     """Behavioural performance model of the OCSA + SH DRAM-core testcase."""
 

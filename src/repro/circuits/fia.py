@@ -28,6 +28,7 @@ from typing import Dict, Sequence
 import numpy as np
 
 from repro.circuits.base import AnalogCircuit, SizingParameter
+from repro.circuits.registry import register_circuit
 from repro.spice.mosfet import BOLTZMANN, MosfetModel, nmos_28nm, pmos_28nm
 from repro.variation.corners import PVTCorner
 from repro.variation.distributions import DeviceKind, DeviceSpec
@@ -46,6 +47,7 @@ _LENGTH_RANGE = (0.03 * _MICRON, 0.33 * _MICRON)
 _CAP_RANGE = (0.005e-12, 5.5e-12)
 
 
+@register_circuit(aliases=("fia",))
 class FloatingInverterAmplifier(AnalogCircuit):
     """Behavioural performance model of the FIA testcase."""
 

@@ -75,6 +75,13 @@ class OperationalConfig:
     workers:
         Process count for sharding batched evaluations across a
         ``ProcessPoolExecutor``; ``1`` (the default) stays in-process.
+    backend:
+        Simulation backend name resolved by the service layer
+        (``"batched"`` — the vectorized engine — or ``"scalar"`` — the
+        bit-exact reference path; see :mod:`repro.simulation.service`).
+    cache_simulations:
+        Memoize simulation results by job content hash; a cache hit
+        charges zero budget.
     """
 
     method: VerificationMethod
@@ -85,6 +92,8 @@ class OperationalConfig:
     corners: CornerSet
     verification_chunk: int = 8
     workers: int = 1
+    backend: str = "batched"
+    cache_simulations: bool = False
 
     @property
     def total_verification_simulations(self) -> int:
@@ -108,6 +117,8 @@ def operational_config(
     verification_samples: Optional[int] = None,
     verification_chunk: int = 8,
     workers: int = 1,
+    backend: str = "batched",
+    cache_simulations: bool = False,
 ) -> OperationalConfig:
     """Build the Table-I operational configuration for ``method``.
 
@@ -117,6 +128,12 @@ def operational_config(
     """
     if verification_samples is None:
         verification_samples = PAPER_MC_SAMPLES[method]
+    shared = dict(
+        verification_chunk=verification_chunk,
+        workers=workers,
+        backend=backend,
+        cache_simulations=cache_simulations,
+    )
     if method is VerificationMethod.CORNER:
         return OperationalConfig(
             method=method,
@@ -125,8 +142,7 @@ def operational_config(
             optimization_samples=1,
             verification_samples=1,
             corners=full_corner_set(),
-            verification_chunk=verification_chunk,
-            workers=workers,
+            **shared,
         )
     if method is VerificationMethod.CORNER_LOCAL_MC:
         return OperationalConfig(
@@ -136,8 +152,7 @@ def operational_config(
             optimization_samples=optimization_samples,
             verification_samples=verification_samples,
             corners=full_corner_set(),
-            verification_chunk=verification_chunk,
-            workers=workers,
+            **shared,
         )
     return OperationalConfig(
         method=method,
@@ -146,8 +161,7 @@ def operational_config(
         optimization_samples=optimization_samples,
         verification_samples=verification_samples,
         corners=vt_corner_set(),
-        verification_chunk=verification_chunk,
-        workers=workers,
+        **shared,
     )
 
 
@@ -169,6 +183,10 @@ class GlovaConfig:
     verification_chunk: int = 8
     # Process count for sharding batched evaluations (1 = in-process).
     workers: int = 1
+    # Simulation backend name ("batched" engine or the "scalar" reference
+    # path) and job-hash result caching (a hit charges zero budget).
+    backend: str = "batched"
+    cache_simulations: bool = False
     # --- risk parameters ----------------------------------------------
     risk_beta1: float = -3.0
     reliability_beta2: float = 4.0
@@ -210,6 +228,8 @@ class GlovaConfig:
             verification_samples=self.verification_samples,
             verification_chunk=self.verification_chunk,
             workers=self.workers,
+            backend=self.backend,
+            cache_simulations=self.cache_simulations,
         )
 
     def effective_ensemble_size(self) -> int:

@@ -64,7 +64,11 @@ class GlovaOptimizer:
             verification_parallelism=self.config.verification_parallelism,
         )
         self.simulator = CircuitSimulator(
-            circuit, self.budget, workers=self.operational.workers
+            circuit,
+            self.budget,
+            workers=self.operational.workers,
+            backend=self.operational.backend,
+            cache=self.operational.cache_simulations,
         )
         self.agent = RiskSensitiveAgent(circuit.dimension, self.config, self.rng)
         self.last_worst = LastWorstCaseBuffer(self.operational.corners)

@@ -1,23 +1,61 @@
 """Simulation service: evaluates designs under corners and mismatch.
 
-The optimizer and the verification phase never call circuit models directly;
-they go through a :class:`~repro.simulation.simulator.CircuitSimulator`,
-which
+The optimizer and the verification phase never call circuit models
+directly; every simulation request is a :class:`SimJob` (design block ×
+corner block × mismatch block + phase tag) evaluated by a
+:class:`SimulationService` through a pluggable :class:`SimulationBackend`:
 
-* evaluates ``(x, corner, h)`` tuples and returns metric dictionaries,
+* :class:`BatchedMNABackend` — the vectorized production engine;
+* :class:`ReferenceScalarBackend` — the bit-exact scalar reference path;
+* :class:`CachingBackend` — memoizes results by job content hash (a hit
+  charges zero budget);
+* sharding — ``workers > 1`` splits any job's batch axis (mismatch,
+  corner *and* design rows) across a process pool with bit-identical
+  results (:mod:`repro.simulation.sharding`).
+
+The service
+
 * counts every SPICE-equivalent simulation (the paper's "# Simulation"
   column), split into optimization-phase and verification-phase counts,
+  with an idempotent job-keyed charge path so cache hits and retried
+  shards can never inflate the count, and
 * models wall-clock cost so normalized-runtime comparisons can be made
-  without a real HSPICE testbed, and
-* exposes batched helpers that mirror the paper's parallel sample size.
+  without a real HSPICE testbed.
+
+:class:`CircuitSimulator` remains as a thin compatibility shim whose five
+legacy entry points all compile to jobs and route through
+:meth:`SimulationService.run`.
 """
 
 from repro.simulation.budget import SimulationBudget, SimulationPhase
-from repro.simulation.simulator import CircuitSimulator, SimulationRecord
+from repro.simulation.service import (
+    BACKENDS,
+    BatchedMNABackend,
+    CachingBackend,
+    ReferenceScalarBackend,
+    ShardedDispatcher,
+    SimJob,
+    SimResult,
+    SimulationBackend,
+    SimulationRecord,
+    SimulationService,
+    resolve_backend,
+)
+from repro.simulation.simulator import CircuitSimulator
 
 __all__ = [
     "SimulationBudget",
     "SimulationPhase",
     "CircuitSimulator",
     "SimulationRecord",
+    "SimJob",
+    "SimResult",
+    "SimulationBackend",
+    "SimulationService",
+    "BatchedMNABackend",
+    "ReferenceScalarBackend",
+    "CachingBackend",
+    "ShardedDispatcher",
+    "BACKENDS",
+    "resolve_backend",
 ]

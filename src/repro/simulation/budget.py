@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 
 class SimulationPhase(enum.Enum):
@@ -48,19 +48,47 @@ class SimulationBudget:
     counts: Dict[SimulationPhase, int] = field(
         default_factory=lambda: {phase: 0 for phase in SimulationPhase}
     )
+    charged_jobs: Set[str] = field(default_factory=set, repr=False)
 
     class BudgetExhausted(RuntimeError):
         """Raised when the configured simulation cap is exceeded."""
 
-    def record(self, phase: SimulationPhase, count: int = 1) -> None:
-        """Account for ``count`` simulations issued by ``phase``."""
+    def charge(
+        self,
+        phase: SimulationPhase,
+        count: int = 1,
+        job_id: Optional[str] = None,
+    ) -> bool:
+        """Account for ``count`` simulations issued by ``phase``.
+
+        When ``job_id`` is given the charge is **idempotent**: the first
+        charge for a given id counts, every later one is a no-op.  The
+        simulation service uses this for cache hits and retried shards, so
+        re-submitting the identical job can never inflate the paper's
+        "# Simulation" column.  Returns True when the charge was counted.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
+        if job_id is not None and job_id in self.charged_jobs:
+            return False
         self.counts[phase] = self.counts.get(phase, 0) + count
         if self.max_simulations is not None and self.total > self.max_simulations:
+            # An over-cap charge aborts the job before it runs, so it must
+            # leave no trace: the count is rolled back and the idempotency
+            # key is not consumed — a retry charges (and aborts) again
+            # instead of running uncounted, and the cap can never be
+            # silently exceeded by rejected attempts.
+            self.counts[phase] -= count
             raise SimulationBudget.BudgetExhausted(
                 f"simulation budget of {self.max_simulations} exhausted"
             )
+        if job_id is not None:
+            self.charged_jobs.add(job_id)
+        return True
+
+    def record(self, phase: SimulationPhase, count: int = 1) -> None:
+        """Backwards-compatible alias for :meth:`charge` without a job id."""
+        self.charge(phase, count)
 
     @property
     def total(self) -> int:
@@ -99,6 +127,7 @@ class SimulationBudget:
     def reset(self) -> None:
         for phase in SimulationPhase:
             self.counts[phase] = 0
+        self.charged_jobs.clear()
 
 
 def _ceil_div(numerator: int, denominator: int) -> int:

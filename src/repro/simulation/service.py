@@ -1,0 +1,612 @@
+"""Backend-pluggable simulation service.
+
+The optimizer, the verifier and the baselines all consume one abstract
+oracle — "simulate (design, corner, mismatch)" — but before this module
+that oracle was five ad-hoc ``CircuitSimulator`` entry points, each with its
+own batching axis, budget charge and sharding branch.  The service layer
+turns every simulation request into a single value object and a single
+call:
+
+* :class:`SimJob` — a frozen request: a design block × a corner block × a
+  mismatch block plus a phase tag.  Jobs carry a deterministic content hash
+  (:attr:`SimJob.job_id`) so identical requests can be recognised across
+  caching, retries and process boundaries.
+* :class:`SimResult` — the response: one ``(B,)`` array per metric, plus
+  per-row :class:`SimulationRecord` views for consumers that want dicts.
+* :class:`SimulationBackend` — the engine boundary.  Two terminal backends
+  ship today: :class:`BatchedMNABackend` (the vectorized engine from PRs
+  1–2) and :class:`ReferenceScalarBackend` (the bit-exact scalar path,
+  previously an ``if not circuit.supports_batch`` branch).  Future engines
+  (an ngspice adapter, a remote worker pool) plug in here without touching
+  the control loop.
+* :class:`CachingBackend` — a decorator backend memoizing results by job
+  hash; a hit costs zero budget (configurable on the service).
+* :class:`ShardedDispatcher` — a decorator backend splitting any job's
+  batch axis — mismatch rows, corner rows *and* design rows alike — across
+  the process pool in :mod:`repro.simulation.sharding`.
+* :class:`SimulationService` — owns the circuit, the budget and the backend
+  chain; ``service.run(job)`` is the one call everything routes through.
+
+Budget accounting is charged at the service, not in the backends, so cache
+hits and retried shards can never inflate the paper's "# Simulation"
+column (see :meth:`repro.simulation.budget.SimulationBudget.charge`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.circuits.base import AnalogCircuit
+from repro.simulation.budget import SimulationBudget, SimulationPhase
+from repro.simulation.sharding import run_job_sharded
+from repro.variation.corners import CornerBatch, PVTCorner
+
+
+#: Batch axes a job can fan out over.
+CONDITION_AXIS = "conditions"  # one design × B (corner, mismatch) rows
+DESIGN_AXIS = "designs"  # M designs × one corner at nominal mismatch
+
+
+def _readonly(array: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    if array is None:
+        return None
+    # Always copy: freezing a view (or the caller's own array) in place
+    # would leak the job's immutability back into e.g. a MismatchSet's
+    # shared samples matrix.
+    array = np.array(array, dtype=float, order="C")
+    array.setflags(write=False)
+    return array
+
+
+@dataclass(frozen=True, eq=False)
+class SimJob:
+    """One immutable simulation request.
+
+    Attributes
+    ----------
+    circuit_name:
+        Registry name of the circuit the job targets (jobs must be
+        self-describing so they can cross process boundaries).
+    designs:
+        ``(M, p)`` block of normalised sizing vectors.  ``M == 1`` for
+        condition-axis jobs (the design is broadcast over the rows).
+    corners:
+        Corner block: a tuple of length 1 (broadcast over the batch) or of
+        length ``B`` (one corner per row).
+    mismatch:
+        ``(B, r)`` mismatch block, or ``None`` for nominal devices.
+    phase:
+        Which phase of the framework is paying for the job.
+    axis:
+        ``"conditions"`` (one design, many corner/mismatch rows) or
+        ``"designs"`` (many designs, one corner, nominal mismatch).
+    """
+
+    circuit_name: str
+    designs: np.ndarray
+    corners: Tuple[PVTCorner, ...]
+    mismatch: Optional[np.ndarray]
+    phase: SimulationPhase = SimulationPhase.OPTIMIZATION
+    axis: str = CONDITION_AXIS
+
+    def __post_init__(self) -> None:
+        designs = _readonly(np.atleast_2d(self.designs))
+        object.__setattr__(self, "designs", designs)
+        object.__setattr__(self, "corners", tuple(self.corners))
+        object.__setattr__(self, "mismatch", _readonly(self.mismatch))
+        if not self.corners:
+            raise ValueError("a SimJob needs at least one corner")
+        if self.axis not in (CONDITION_AXIS, DESIGN_AXIS):
+            raise ValueError(f"unknown job axis {self.axis!r}")
+        if self.axis == DESIGN_AXIS:
+            if self.mismatch is not None:
+                raise ValueError("design-axis jobs run at nominal mismatch")
+            if len(self.corners) != 1:
+                raise ValueError("design-axis jobs take a single corner")
+        else:
+            if self.designs.shape[0] != 1:
+                raise ValueError(
+                    "condition-axis jobs take a single design; use the "
+                    "design axis for design batches"
+                )
+            if self.mismatch is not None:
+                if self.mismatch.ndim != 2:
+                    raise ValueError("mismatch block must be 2-D (B, r)")
+                rows = self.mismatch.shape[0]
+                if len(self.corners) not in (1, rows):
+                    raise ValueError(
+                        f"corner block ({len(self.corners)}) and mismatch "
+                        f"block ({rows}) lengths differ"
+                    )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def conditions(
+        cls,
+        circuit_name: str,
+        x_normalized: np.ndarray,
+        corners: Sequence[PVTCorner],
+        mismatch: Optional[np.ndarray] = None,
+        phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
+    ) -> "SimJob":
+        """One design across a block of (corner, mismatch) conditions."""
+        return cls(
+            circuit_name=circuit_name,
+            designs=np.asarray(x_normalized, dtype=float)[None, :],
+            corners=tuple(corners),
+            mismatch=mismatch,
+            phase=phase,
+            axis=CONDITION_AXIS,
+        )
+
+    @classmethod
+    def design_batch(
+        cls,
+        circuit_name: str,
+        designs: np.ndarray,
+        corner: PVTCorner,
+        phase: SimulationPhase = SimulationPhase.INITIAL_SAMPLING,
+    ) -> "SimJob":
+        """Many designs at one corner and nominal mismatch."""
+        return cls(
+            circuit_name=circuit_name,
+            designs=np.atleast_2d(np.asarray(designs, dtype=float)),
+            corners=(corner,),
+            mismatch=None,
+            phase=phase,
+            axis=DESIGN_AXIS,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def batch(self) -> int:
+        """Number of rows the job evaluates (= simulations charged)."""
+        if self.axis == DESIGN_AXIS:
+            return int(self.designs.shape[0])
+        if self.mismatch is not None:
+            return int(self.mismatch.shape[0])
+        return len(self.corners)
+
+    @property
+    def cost(self) -> int:
+        """Simulations the budget charges for this job (the paper counts
+        one per evaluated row, batched or not)."""
+        return self.batch
+
+    @property
+    def row_corners(self) -> Tuple[PVTCorner, ...]:
+        """One corner per row (broadcasting a length-1 corner block)."""
+        if len(self.corners) == self.batch:
+            return self.corners
+        return self.corners * self.batch
+
+    @property
+    def job_id(self) -> str:
+        """Deterministic content hash of the request.
+
+        Stable across processes and sessions: it digests the circuit name,
+        the axis, the design/mismatch bytes and the corner names — not
+        object identities — so equal requests always collide.
+        """
+        cached = self.__dict__.get("_job_id")
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(self.circuit_name.encode())
+            digest.update(self.axis.encode())
+            digest.update(str(self.designs.shape).encode())
+            digest.update(self.designs.tobytes())
+            # Raw corner floats, not display names: PVTCorner.name rounds
+            # vdd/temperature for readability, which would collide
+            # physically different corners.
+            for corner in self.corners:
+                digest.update(corner.process.value.encode())
+                digest.update(np.float64(corner.vdd).tobytes())
+                digest.update(np.float64(corner.temperature).tobytes())
+            if self.mismatch is None:
+                digest.update(b"nominal")
+            else:
+                digest.update(str(self.mismatch.shape).encode())
+                digest.update(self.mismatch.tobytes())
+            cached = digest.hexdigest()
+            object.__setattr__(self, "_job_id", cached)
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimJob):
+            return NotImplemented
+        return self.job_id == other.job_id and self.phase is other.phase
+
+    def __hash__(self) -> int:
+        return hash(self.job_id)
+
+    def shard(self, lo: int, hi: int) -> "SimJob":
+        """The sub-job covering rows ``[lo, hi)`` of the batch axis."""
+        if self.axis == DESIGN_AXIS:
+            return replace(self, designs=self.designs[lo:hi])
+        corners = self.corners
+        if len(corners) > 1:
+            corners = corners[lo:hi]
+        mismatch = None if self.mismatch is None else self.mismatch[lo:hi]
+        return replace(self, corners=corners, mismatch=mismatch)
+
+
+@dataclass
+class SimResult:
+    """Metrics tensor plus per-row record views for one :class:`SimJob`."""
+
+    job: SimJob
+    metrics: Dict[str, np.ndarray]
+    cached: bool = False
+    backend: str = ""
+
+    def matrix(self, names: Sequence[str]) -> np.ndarray:
+        """``(B, len(names))`` metric matrix in the requested column order."""
+        return np.column_stack(
+            [np.asarray(self.metrics[name], dtype=float) for name in names]
+        )
+
+    def to_records(self, names: Sequence[str]) -> List["SimulationRecord"]:
+        """Per-row :class:`SimulationRecord` views (cached metric vectors)."""
+        names = tuple(names)
+        matrix = self.matrix(names)
+        corners = self.job.row_corners
+        mismatch = self.job.mismatch
+        return [
+            SimulationRecord(
+                metrics=dict(zip(names, row.tolist())),
+                corner=corners[index],
+                mismatch=None if mismatch is None else mismatch[index],
+                vector=row,
+                vector_names=names,
+            )
+            for index, row in enumerate(matrix)
+        ]
+
+
+@dataclass(frozen=True)
+class SimulationRecord:
+    """One simulation outcome: the metrics for ``(x, corner, h)``.
+
+    Records produced by a batched sweep carry a precomputed metric vector
+    (one row of the batch matrix), so stacking many records back into a
+    matrix needs no per-record dict traffic.
+    """
+
+    metrics: Dict[str, float]
+    corner: PVTCorner
+    mismatch: Optional[np.ndarray]
+    vector: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    vector_names: Optional[Tuple[str, ...]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def metric_vector(self, names: Sequence[str]) -> np.ndarray:
+        if self.vector is not None and tuple(names) == self.vector_names:
+            # Copy so callers can mutate the result without corrupting the
+            # record (scalar records always return a fresh array).
+            return self.vector.copy()
+        return np.array([self.metrics[name] for name in names])
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class SimulationBackend:
+    """The engine boundary: evaluates a :class:`SimJob` on a circuit.
+
+    Terminal backends (ones that actually simulate) are registered in
+    :data:`BACKENDS` under a short name so worker processes can rebuild
+    them; decorator backends (caching, sharding) wrap another backend and
+    are composed by :class:`SimulationService`.
+    """
+
+    #: Registry name ("" for decorator backends that never cross a
+    #: process boundary themselves).
+    name: str = ""
+
+    def evaluate(
+        self, circuit: AnalogCircuit, job: SimJob
+    ) -> Dict[str, np.ndarray]:
+        """Return ``{metric: (B,) array}`` for the job's batch."""
+        raise NotImplementedError
+
+    def run(self, circuit: AnalogCircuit, job: SimJob) -> SimResult:
+        """Evaluate and wrap into a :class:`SimResult`."""
+        return SimResult(
+            job=job, metrics=self.evaluate(circuit, job), backend=self.name
+        )
+
+
+class BatchedMNABackend(SimulationBackend):
+    """The production engine: one vectorized pass per job (PRs 1–2).
+
+    Condition-axis jobs run through :meth:`AnalogCircuit.evaluate_batch`
+    (corner axis carried by a :class:`CornerBatch` when the block has more
+    than one corner); design-axis jobs run through
+    :meth:`AnalogCircuit.evaluate_design_batch`.  Circuits without a
+    vectorized model fall back to the scalar loop inside those methods, so
+    every circuit works on this backend.
+    """
+
+    name = "batched"
+
+    def evaluate(
+        self, circuit: AnalogCircuit, job: SimJob
+    ) -> Dict[str, np.ndarray]:
+        if job.axis == DESIGN_AXIS:
+            return circuit.evaluate_design_batch(job.designs, job.corners[0])
+        corner: Union[PVTCorner, CornerBatch]
+        if len(job.corners) > 1:
+            corner = CornerBatch.from_corners(job.corners)
+        else:
+            corner = job.corners[0]
+        return circuit.evaluate_batch(job.designs[0], corner, job.mismatch)
+
+
+class ReferenceScalarBackend(SimulationBackend):
+    """The bit-exact scalar reference path, one row at a time.
+
+    Formerly the ``if not circuit.supports_batch`` branch inside every
+    simulator entry point; as a backend it is selectable for any circuit —
+    the debugging / cross-validation twin of :class:`BatchedMNABackend`.
+    """
+
+    name = "scalar"
+
+    def evaluate(
+        self, circuit: AnalogCircuit, job: SimJob
+    ) -> Dict[str, np.ndarray]:
+        if job.axis == DESIGN_AXIS:
+            rows = [
+                circuit.evaluate(design, job.corners[0])
+                for design in job.designs
+            ]
+        else:
+            design = job.designs[0]
+            corners = job.row_corners
+            rows = [
+                circuit.evaluate(
+                    design,
+                    corners[index],
+                    None if job.mismatch is None else job.mismatch[index],
+                )
+                for index in range(job.batch)
+            ]
+        return {
+            name: np.array([row[name] for row in rows])
+            for name in circuit.metric_names
+        }
+
+
+#: Terminal backends reconstructible by name inside worker processes.
+BACKENDS: Dict[str, type] = {
+    BatchedMNABackend.name: BatchedMNABackend,
+    ReferenceScalarBackend.name: ReferenceScalarBackend,
+}
+
+
+def resolve_backend(backend: Union[str, SimulationBackend]) -> SimulationBackend:
+    """A backend instance from a registry name (or pass one through)."""
+    if isinstance(backend, SimulationBackend):
+        return backend
+    try:
+        return BACKENDS[backend]()
+    except KeyError:
+        raise KeyError(
+            f"unknown simulation backend {backend!r}; "
+            f"available: {sorted(BACKENDS)}"
+        ) from None
+
+
+class CachingBackend(SimulationBackend):
+    """Memoizes an inner backend's results by job content hash.
+
+    A hit returns copies of the stored metric arrays and marks the result
+    ``cached`` so :class:`SimulationService` can charge zero budget for it
+    (the configurable paper-accounting default).  The cache is unbounded —
+    jobs are a few kilobytes of metrics each — and can be dropped with
+    :meth:`clear`.
+    """
+
+    def __init__(self, inner: SimulationBackend):
+        self.inner = inner
+        self._cache: Dict[str, Dict[str, np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"cache({self.inner.name})"
+
+    def lookup(self, job: SimJob) -> Optional[Dict[str, np.ndarray]]:
+        """Copies of the stored metrics for ``job``, or ``None`` on a miss.
+
+        Counts the hit/miss either way; the service probes the cache
+        *before* charging the budget so the legacy charge-before-evaluate
+        order (``max_simulations`` raises before any work happens) is
+        preserved on misses.
+        """
+        stored = self._cache.get(job.job_id)
+        if stored is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return {name: values.copy() for name, values in stored.items()}
+
+    def store(self, job: SimJob, metrics: Dict[str, np.ndarray]) -> None:
+        self._cache[job.job_id] = {
+            name: values.copy() for name, values in metrics.items()
+        }
+
+    def run(self, circuit: AnalogCircuit, job: SimJob) -> SimResult:
+        metrics = self.lookup(job)
+        if metrics is not None:
+            return SimResult(
+                job=job, metrics=metrics, cached=True, backend=self.name
+            )
+        result = self.inner.run(circuit, job)
+        self.store(job, result.metrics)
+        return SimResult(
+            job=job, metrics=result.metrics, cached=False, backend=self.name
+        )
+
+    def evaluate(
+        self, circuit: AnalogCircuit, job: SimJob
+    ) -> Dict[str, np.ndarray]:
+        return self.run(circuit, job).metrics
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class ShardedDispatcher(SimulationBackend):
+    """Splits a job's batch axis across the process pool.
+
+    Works uniformly for every axis — mismatch rows, corner rows and design
+    rows alike (closing the ROADMAP "design-axis sharding" item) — by
+    slicing the :class:`SimJob` itself into shard jobs and evaluating each
+    on a worker-side copy of the terminal backend.  Falls back to the
+    in-process evaluation whenever sharding is not applicable (small batch,
+    unregistered circuit, non-reconstructible backend); results are
+    concatenated in row order and are bit-identical either way.
+    """
+
+    def __init__(self, inner: SimulationBackend, workers: int):
+        self.inner = inner
+        self.workers = max(1, int(workers))
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"sharded({self.inner.name}, workers={self.workers})"
+
+    def evaluate(
+        self, circuit: AnalogCircuit, job: SimJob
+    ) -> Dict[str, np.ndarray]:
+        sharded = run_job_sharded(circuit, self.inner, job, self.workers)
+        if sharded is not None:
+            return sharded
+        return self.inner.evaluate(circuit, job)
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class SimulationService:
+    """Runs :class:`SimJob` requests against a backend chain with budgeting.
+
+    The chain is composed outermost-first as ``cache → sharding →
+    terminal backend``, so cache hits skip the pool entirely and cache
+    misses still shard.  All budget accounting happens here:
+
+    * a normal run charges ``job.cost`` simulations to ``job.phase``
+      (exactly the paper's per-row counting);
+    * a cache hit charges nothing unless ``charge_cache_hits=True``;
+    * with ``idempotent_charges=True`` the charge is keyed by the job's
+      content hash, so resubmitting the identical job (a retry) can never
+      double-charge (:meth:`SimulationBudget.charge`).
+    """
+
+    def __init__(
+        self,
+        circuit: AnalogCircuit,
+        budget: Optional[SimulationBudget] = None,
+        backend: Union[str, SimulationBackend] = "batched",
+        workers: int = 1,
+        cache: bool = False,
+        charge_cache_hits: bool = False,
+        idempotent_charges: bool = False,
+    ):
+        self._circuit = circuit
+        self._budget = budget if budget is not None else SimulationBudget()
+        self._workers = max(1, int(workers))
+        self._terminal = resolve_backend(backend)
+        self._dispatch: SimulationBackend = self._terminal
+        if self._workers > 1:
+            self._dispatch = ShardedDispatcher(self._terminal, self._workers)
+        self._cache: Optional[CachingBackend] = (
+            CachingBackend(self._dispatch) if cache else None
+        )
+        self._charge_cache_hits = bool(charge_cache_hits)
+        self._idempotent_charges = bool(idempotent_charges)
+
+    # ------------------------------------------------------------------
+    @property
+    def circuit(self) -> AnalogCircuit:
+        return self._circuit
+
+    @property
+    def budget(self) -> SimulationBudget:
+        return self._budget
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def backend(self) -> SimulationBackend:
+        """The composed backend chain (cache → sharding → terminal).
+
+        For introspection; backends never touch the budget, so evaluate
+        jobs through :meth:`run`, not by calling the chain directly.
+        """
+        return self._cache if self._cache is not None else self._dispatch
+
+    @property
+    def backend_name(self) -> str:
+        """The terminal engine's registry name."""
+        return self._terminal.name
+
+    @property
+    def cache(self) -> Optional[CachingBackend]:
+        """The cache decorator when enabled, else ``None``."""
+        return self._cache
+
+    # ------------------------------------------------------------------
+    def _charge(self, job: SimJob, count: int) -> None:
+        # The idempotency key includes the phase (the content hash alone
+        # would swallow a legitimate re-simulation of the same block in a
+        # different phase), and zero charges never consume a key — only a
+        # counted charge should block its retry.
+        job_id = None
+        if self._idempotent_charges and count > 0:
+            job_id = f"{job.phase.value}:{job.job_id}"
+        self._budget.charge(job.phase, count, job_id=job_id)
+
+    def run(self, job: SimJob) -> SimResult:
+        """Evaluate one job, charging the budget before any simulation runs
+        (so a ``max_simulations`` cap aborts without spending work, exactly
+        as the pre-service entry points did)."""
+        if job.circuit_name != self._circuit.name:
+            raise ValueError(
+                f"job targets circuit {job.circuit_name!r} but this service "
+                f"simulates {self._circuit.name!r}"
+            )
+        if self._cache is not None:
+            metrics = self._cache.lookup(job)
+            if metrics is not None:
+                # Hits charge plainly (no idempotency key): each hit is a
+                # deliberate accounting event under ``charge_cache_hits``,
+                # and the key for the job's real run must stay intact.
+                self._budget.charge(
+                    job.phase, job.cost if self._charge_cache_hits else 0
+                )
+                return SimResult(
+                    job=job,
+                    metrics=metrics,
+                    cached=True,
+                    backend=self._cache.name,
+                )
+        self._charge(job, job.cost)
+        result = self._dispatch.run(self._circuit, job)
+        if self._cache is not None:
+            self._cache.store(job, result.metrics)
+        return result

@@ -1,22 +1,26 @@
-"""Opt-in multiprocessing sharding of the batch axis.
+"""Opt-in multiprocessing sharding of a job's batch axis.
 
-The batched evaluation paths vectorize within one process; this module
-shards the ``B`` axis of one :meth:`AnalogCircuit.evaluate_batch` call
-across a ``concurrent.futures.ProcessPoolExecutor`` when the operational
-configuration asks for ``workers > 1`` — modelling the paper's 3-way /
-30-way simulation parallelism with real OS-level concurrency.
+The batched backends vectorize within one process; this module shards the
+row axis of one :class:`~repro.simulation.service.SimJob` across a
+``concurrent.futures.ProcessPoolExecutor`` when the service is configured
+with ``workers > 1`` — modelling the paper's 3-way / 30-way simulation
+parallelism with real OS-level concurrency.  Because the *job* is what gets
+sliced, every batch axis shards the same way: mismatch rows, corner rows
+and design rows alike (the ROADMAP "design-axis sharding" item).
 
 Design constraints:
 
-* **Seeded-stream identical** — sampling happens *before* evaluation (the
-  evaluation consumes no randomness), and shard results are concatenated in
-  submission order, so a sharded run returns bit-identical metric arrays to
-  the single-process run.
-* **No circuit pickling** — circuit instances carry closures (the
-  :class:`DeviceSpec` sizing lambdas) and cannot cross a process boundary.
-  Workers receive the circuit's *registry name* instead and construct their
-  own instance once, caching it for the life of the process.  Circuits not
-  in the registry silently run single-process.
+* **Seeded-stream identical** — sampling happens *before* a job is built
+  (evaluation consumes no randomness), and shard results are concatenated
+  in submission order, so a sharded run returns bit-identical metric
+  arrays to the single-process run.
+* **No circuit or backend pickling** — circuit instances carry closures
+  (the :class:`DeviceSpec` sizing lambdas) and cannot cross a process
+  boundary.  Workers receive the job's *registry* circuit name and the
+  terminal backend's registry name instead, constructing and caching their
+  own instances for the life of the process.  Jobs whose circuit is not
+  registered (or whose backend is not a named terminal backend) silently
+  run single-process.
 * **Lazy pools** — one executor per worker count, created on first use and
   shut down at interpreter exit.
 """
@@ -25,12 +29,14 @@ from __future__ import annotations
 
 import atexit
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
 from repro.circuits.base import AnalogCircuit
-from repro.variation.corners import CornerBatch, PVTCorner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.simulation.service import SimJob, SimulationBackend
 
 #: Shard only batches at least this many times the worker count; smaller
 #: batches are not worth the serialization round trip.
@@ -38,8 +44,9 @@ MIN_ROWS_PER_WORKER = 2
 
 _EXECUTORS: Dict[int, ProcessPoolExecutor] = {}
 
-# Per-worker-process circuit cache, keyed by registry name.
+# Per-worker-process caches, keyed by registry name.
 _WORKER_CIRCUITS: Dict[str, AnalogCircuit] = {}
+_WORKER_BACKENDS: Dict[str, "SimulationBackend"] = {}
 
 
 def _executor(workers: int) -> ProcessPoolExecutor:
@@ -67,56 +74,65 @@ def _worker_circuit(name: str) -> AnalogCircuit:
     return circuit
 
 
-def _evaluate_shard(
-    circuit_name: str,
-    x_normalized: np.ndarray,
-    corner: Union[PVTCorner, CornerBatch, None],
-    mismatch: Optional[np.ndarray],
+def _worker_backend(name: str) -> "SimulationBackend":
+    backend = _WORKER_BACKENDS.get(name)
+    if backend is None:
+        from repro.simulation.service import resolve_backend
+
+        backend = resolve_backend(name)
+        _WORKER_BACKENDS[name] = backend
+    return backend
+
+
+def _evaluate_job_shard(
+    backend_name: str, job: "SimJob"
 ) -> Dict[str, np.ndarray]:
-    """Worker-side: evaluate one shard on a process-cached circuit."""
-    return _worker_circuit(circuit_name).evaluate_batch(
-        x_normalized, corner, mismatch
-    )
+    """Worker-side: evaluate one shard job on process-cached objects."""
+    circuit = _worker_circuit(job.circuit_name)
+    return _worker_backend(backend_name).evaluate(circuit, job)
 
 
-def _registered_name(circuit: AnalogCircuit) -> Optional[str]:
-    """The circuit's registry name, or ``None`` when it is not registered
-    (or registered under a name that builds a different class)."""
-    from repro.circuits.registry import _REGISTRY
+def _registered_circuit(circuit: AnalogCircuit) -> bool:
+    """True when the circuit's registry name rebuilds this exact class."""
+    from repro.circuits.registry import registered_class
 
-    registered = _REGISTRY.get(circuit.name)
-    if registered is not None and type(circuit) is registered:
-        return circuit.name
-    return None
+    return registered_class(circuit.name) is type(circuit)
 
 
-def shardable(circuit: AnalogCircuit, workers: int, batch: int) -> bool:
+def shardable(
+    circuit: AnalogCircuit,
+    backend: "SimulationBackend",
+    workers: int,
+    batch: int,
+) -> bool:
     """True when a batch of this size is worth splitting across workers."""
+    from repro.simulation.service import BACKENDS
+
     return (
         workers > 1
         and batch >= MIN_ROWS_PER_WORKER * workers
-        and _registered_name(circuit) is not None
+        and backend.name in BACKENDS
+        and _registered_circuit(circuit)
     )
 
 
-def evaluate_batch_sharded(
+def run_job_sharded(
     circuit: AnalogCircuit,
-    x_normalized: np.ndarray,
-    corner: Union[PVTCorner, CornerBatch, None],
-    mismatch: Optional[np.ndarray],
+    backend: "SimulationBackend",
+    job: "SimJob",
     workers: int,
-) -> Dict[str, np.ndarray]:
-    """Split one ``evaluate_batch`` call's row axis across ``workers``.
+) -> Optional[Dict[str, np.ndarray]]:
+    """Split one job's row axis across ``workers`` processes.
 
-    Falls back to the in-process call whenever sharding is not applicable
-    (small batch, unregistered circuit, ``workers == 1``).  Results are
-    concatenated in shard order and are bit-identical to the single-process
-    evaluation.
+    Returns the concatenated ``{metric: (B,) array}`` result, or ``None``
+    whenever sharding is not applicable (small batch, unregistered circuit,
+    non-terminal backend) so the caller runs the job in-process instead.
+    Results are concatenated in shard order and are bit-identical to the
+    single-process evaluation.
     """
-    batch = _batch_length(corner, mismatch)
-    if batch is None or not shardable(circuit, workers, batch):
-        return circuit.evaluate_batch(x_normalized, corner, mismatch)
-    name = _registered_name(circuit)
+    batch = job.batch
+    if not shardable(circuit, backend, workers, batch):
+        return None
 
     bounds = np.linspace(0, batch, workers + 1).astype(int)
     futures = []
@@ -125,28 +141,11 @@ def evaluate_batch_sharded(
         lo, hi = int(bounds[shard]), int(bounds[shard + 1])
         if lo == hi:
             continue
-        shard_corner = corner
-        if isinstance(corner, CornerBatch):
-            shard_corner = CornerBatch.from_corners(corner.corners[lo:hi])
-        shard_mismatch = None if mismatch is None else mismatch[lo:hi]
         futures.append(
-            pool.submit(
-                _evaluate_shard, name, x_normalized, shard_corner, shard_mismatch
-            )
+            pool.submit(_evaluate_job_shard, backend.name, job.shard(lo, hi))
         )
     results = [future.result() for future in futures]
     return {
         metric: np.concatenate([result[metric] for result in results])
         for metric in results[0]
     }
-
-
-def _batch_length(
-    corner: Union[PVTCorner, CornerBatch, None], mismatch: Optional[np.ndarray]
-) -> Optional[int]:
-    """Row count of the evaluation, or ``None`` when it cannot be inferred."""
-    if mismatch is not None:
-        return int(np.asarray(mismatch).shape[0])
-    if isinstance(corner, CornerBatch):
-        return len(corner)
-    return None

@@ -1,74 +1,54 @@
-"""The simulation front end used by the optimizer and the verifier.
+"""The legacy simulation front end, now a thin shim over the service.
 
-``CircuitSimulator`` wraps a testbench circuit and exposes evaluation entry
-points that mirror how the paper issues SPICE jobs:
+``CircuitSimulator`` wraps a testbench circuit and exposes the evaluation
+entry points that mirror how the paper issues SPICE jobs:
 
 * :meth:`simulate` — one design, one corner, one mismatch condition;
 * :meth:`simulate_mismatch_set` — one design and corner across a sampled
   mismatch-condition set (the optimization-phase N' batch);
 * :meth:`simulate_corners` — one design across a corner set at nominal
-  mismatch (plain corner simulation).
-
-Every call is charged to a :class:`~repro.simulation.budget.SimulationBudget`
-so the paper's "# Simulation" column can be reproduced exactly.
-
-The multi-condition entry points are **batched**: when the circuit provides
-a vectorized evaluation path (``circuit.supports_batch``), the whole
-mismatch set or corner sweep is evaluated in one
-:meth:`~repro.circuits.base.AnalogCircuit.evaluate_batch` pass instead of B
-scalar calls.  Budget accounting is unchanged — a batch of B conditions
-still charges B simulations, exactly as the paper counts them.
-
-Two further axes batch through dedicated entry points:
-
+  mismatch (plain corner simulation);
 * :meth:`simulate_corner_sweep` — one design across *corners × mismatch
   sets* as a single mega-batch (the optimizer seed phase);
 * :meth:`simulate_designs` — many *designs* at one corner in one vectorized
   pass (TuRBO proposal batches, population-style baselines).
 
-With ``workers > 1`` the mismatch/corner-batched calls additionally shard
-their row axis across a process pool (:mod:`repro.simulation.sharding`)
-with bit-identical results; the design-axis path runs in-process (ROADMAP:
-design-axis sharding).
+Since the service redesign every one of these **compiles to a**
+:class:`~repro.simulation.service.SimJob` **and routes through the single**
+:meth:`~repro.simulation.service.SimulationService.run` **call** — batching,
+backend selection, caching, sharding and budget accounting all live in the
+service layer, and the entry points here only express the request shape
+(grouping corner sweeps, tiling a shared mismatch vector) and unpack the
+result into :class:`SimulationRecord` lists.  Metrics, seeded streams and
+budget charges are bit-identical to the pre-service behavior: a batch of B
+conditions still charges B simulations, exactly as the paper counts them.
+
+New code should prefer the service API directly::
+
+    from repro.simulation import SimJob, SimulationService
+
+    service = SimulationService(circuit, backend="batched", workers=4)
+    result = service.run(SimJob.conditions(circuit.name, x, corners, h))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.circuits.base import AnalogCircuit
 from repro.simulation.budget import SimulationBudget, SimulationPhase
-from repro.simulation.sharding import evaluate_batch_sharded
-from repro.variation.corners import CornerBatch, CornerSet, PVTCorner, typical_corner
+from repro.simulation.service import (
+    SimJob,
+    SimulationBackend,
+    SimulationRecord,
+    SimulationService,
+)
+from repro.variation.corners import CornerSet, PVTCorner, typical_corner
 from repro.variation.mismatch import MismatchSet
 
-
-@dataclass(frozen=True)
-class SimulationRecord:
-    """One simulation outcome: the metrics for ``(x, corner, h)``.
-
-    Records produced by a batched sweep carry a precomputed metric vector
-    (one row of the batch matrix), so stacking many records back into a
-    matrix needs no per-record dict traffic.
-    """
-
-    metrics: Dict[str, float]
-    corner: PVTCorner
-    mismatch: Optional[np.ndarray]
-    vector: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
-    vector_names: Optional[Tuple[str, ...]] = field(
-        default=None, repr=False, compare=False
-    )
-
-    def metric_vector(self, names: Sequence[str]) -> np.ndarray:
-        if self.vector is not None and tuple(names) == self.vector_names:
-            # Copy so callers can mutate the result without corrupting the
-            # record (scalar records always return a fresh array).
-            return self.vector.copy()
-        return np.array([self.metrics[name] for name in names])
+__all__ = ["CircuitSimulator", "SimulationRecord"]
 
 
 class CircuitSimulator:
@@ -79,35 +59,41 @@ class CircuitSimulator:
         circuit: AnalogCircuit,
         budget: Optional[SimulationBudget] = None,
         workers: int = 1,
+        backend: Union[str, SimulationBackend] = "batched",
+        cache: bool = False,
+        service: Optional[SimulationService] = None,
     ):
-        self._circuit = circuit
-        self._budget = budget if budget is not None else SimulationBudget()
-        self._workers = max(1, int(workers))
+        if service is None:
+            service = SimulationService(
+                circuit,
+                budget=budget,
+                backend=backend,
+                workers=workers,
+                cache=cache,
+            )
+        self._service = service
+
+    @property
+    def service(self) -> SimulationService:
+        """The underlying simulation service (the one real entry point)."""
+        return self._service
 
     @property
     def circuit(self) -> AnalogCircuit:
-        return self._circuit
+        return self._service.circuit
 
     @property
     def budget(self) -> SimulationBudget:
-        return self._budget
+        return self._service.budget
 
     @property
     def workers(self) -> int:
-        return self._workers
+        return self._service.workers
 
-    def _evaluate_batch(
-        self,
-        x_normalized: np.ndarray,
-        corner: Union[PVTCorner, CornerBatch, None],
-        mismatch: Optional[np.ndarray],
-    ) -> Dict[str, np.ndarray]:
-        """One batched evaluation, sharded across processes when configured."""
-        if self._workers > 1:
-            return evaluate_batch_sharded(
-                self._circuit, x_normalized, corner, mismatch, self._workers
-            )
-        return self._circuit.evaluate_batch(x_normalized, corner, mismatch)
+    # ------------------------------------------------------------------
+    def _run(self, job: SimJob) -> List[SimulationRecord]:
+        result = self._service.run(job)
+        return result.to_records(self.circuit.metric_names)
 
     # ------------------------------------------------------------------
     def simulate(
@@ -117,11 +103,15 @@ class CircuitSimulator:
         mismatch: Optional[np.ndarray] = None,
         phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
     ) -> SimulationRecord:
-        """Run a single SPICE-equivalent simulation."""
+        """Run a single SPICE-equivalent simulation (a batch of one)."""
         corner = corner if corner is not None else typical_corner()
-        self._budget.record(phase, 1)
-        metrics = self._circuit.evaluate(x_normalized, corner, mismatch)
-        return SimulationRecord(metrics=metrics, corner=corner, mismatch=mismatch)
+        h_block = None
+        if mismatch is not None:
+            h_block = np.asarray(mismatch, dtype=float)[None, :]
+        job = SimJob.conditions(
+            self.circuit.name, x_normalized, (corner,), h_block, phase
+        )
+        return self._run(job)[0]
 
     def simulate_mismatch_set(
         self,
@@ -132,21 +122,17 @@ class CircuitSimulator:
     ) -> List[SimulationRecord]:
         """Evaluate one design at one corner across every mismatch condition.
 
-        Fast path: circuits with a vectorized evaluation run the whole N'
-        batch in a single :meth:`AnalogCircuit.evaluate_batch` call.  The
-        budget is still charged one simulation per mismatch condition.
+        The whole N' block is one condition-axis job; the budget is still
+        charged one simulation per mismatch condition.
         """
-        count = len(mismatch_set)
-        if not self._circuit.supports_batch:
-            return [
-                self.simulate(x_normalized, corner, mismatch, phase)
-                for mismatch in mismatch_set
-            ]
-        self._budget.record(phase, count)
-        metrics = self._evaluate_batch(x_normalized, corner, mismatch_set.samples)
-        return self._records_from_batch(
-            metrics, [corner] * count, list(mismatch_set)
+        job = SimJob.conditions(
+            self.circuit.name,
+            x_normalized,
+            (corner,),
+            mismatch_set.samples,
+            phase,
         )
+        return self._run(job)
 
     def simulate_corners(
         self,
@@ -157,27 +143,21 @@ class CircuitSimulator:
     ) -> List[SimulationRecord]:
         """Evaluate one design across a corner set at a fixed mismatch.
 
-        Fast path: the whole sweep is evaluated in one pass with the corner
-        axis batched (:class:`~repro.variation.corners.CornerBatch`).
+        The corner axis is the batch axis; a shared mismatch vector is
+        tiled across the rows.
         """
-        corner_list = list(corners)
+        corner_list = tuple(corners)
         if not corner_list:
             return []
-        if not self._circuit.supports_batch:
-            return [
-                self.simulate(x_normalized, corner, mismatch, phase)
-                for corner in corner_list
-            ]
-        count = len(corner_list)
-        self._budget.record(phase, count)
-        corner_batch = CornerBatch.from_corners(corner_list)
         h_matrix = None
         if mismatch is not None:
-            h_matrix = np.tile(np.asarray(mismatch, dtype=float), (count, 1))
-        metrics = self._evaluate_batch(x_normalized, corner_batch, h_matrix)
-        return self._records_from_batch(
-            metrics, corner_list, [mismatch] * count
+            h_matrix = np.tile(
+                np.asarray(mismatch, dtype=float), (len(corner_list), 1)
+            )
+        job = SimJob.conditions(
+            self.circuit.name, x_normalized, corner_list, h_matrix, phase
         )
+        return self._run(job)
 
     def simulate_corner_sweep(
         self,
@@ -192,9 +172,9 @@ class CircuitSimulator:
         evaluation both fan one design out over every predefined corner with
         ``N'`` mismatch conditions each; this entry point stacks the whole
         sweep into a single ``(sum_i N_i,)`` mega-batch (corner axis carried
-        by a repeated :class:`CornerBatch`) and returns the records grouped
-        per corner, in the caller's corner order.  The budget is charged in
-        one step for the entire sweep.
+        by a repeated corner block) and returns the records grouped per
+        corner, in the caller's corner order.  The budget is charged in one
+        step for the entire sweep.
         """
         corner_list = list(corners)
         if len(corner_list) != len(mismatch_sets):
@@ -202,24 +182,16 @@ class CircuitSimulator:
         if not corner_list:
             return []
         counts = [len(mismatch_set) for mismatch_set in mismatch_sets]
-        if not self._circuit.supports_batch:
-            return [
-                self.simulate_mismatch_set(x_normalized, corner, mismatch_set, phase)
-                for corner, mismatch_set in zip(corner_list, mismatch_sets)
-            ]
-        total = sum(counts)
-        self._budget.record(phase, total)
-        flat_corners = [
+        flat_corners = tuple(
             corner
             for corner, count in zip(corner_list, counts)
             for _ in range(count)
-        ]
-        corner_batch = CornerBatch.from_corners(flat_corners)
-        h_matrix = np.vstack([mismatch_set.samples for mismatch_set in mismatch_sets])
-        metrics = self._evaluate_batch(x_normalized, corner_batch, h_matrix)
-        flat_records = self._records_from_batch(
-            metrics, flat_corners, list(h_matrix)
         )
+        h_matrix = np.vstack([mismatch_set.samples for mismatch_set in mismatch_sets])
+        job = SimJob.conditions(
+            self.circuit.name, x_normalized, flat_corners, h_matrix, phase
+        )
+        flat_records = self._run(job)
         grouped: List[List[SimulationRecord]] = []
         offset = 0
         for count in counts:
@@ -235,20 +207,15 @@ class CircuitSimulator:
     ) -> List[SimulationRecord]:
         """Evaluate many *designs* at one corner and nominal mismatch.
 
-        The design axis is the batch axis here — one
-        :meth:`AnalogCircuit.evaluate_design_batch` pass covers a whole
-        TuRBO proposal batch or a population of random candidates.  The
-        budget is charged one simulation per design, exactly as the scalar
-        loop would.
+        The design axis is the batch axis here — one job covers a whole
+        TuRBO proposal batch or a population of random candidates, and with
+        ``workers > 1`` the design rows shard across the same process pool
+        as every other axis.  The budget is charged one simulation per
+        design, exactly as the scalar loop would.
         """
         corner = corner if corner is not None else typical_corner()
-        designs = np.atleast_2d(np.asarray(designs, dtype=float))
-        count = designs.shape[0]
-        self._budget.record(phase, count)
-        metrics = self._circuit.evaluate_design_batch(designs, corner)
-        return self._records_from_batch(
-            metrics, [corner] * count, [None] * count
-        )
+        job = SimJob.design_batch(self.circuit.name, designs, corner, phase)
+        return self._run(job)
 
     def simulate_typical(
         self,
@@ -259,26 +226,6 @@ class CircuitSimulator:
         return self.simulate(x_normalized, typical_corner(), None, phase)
 
     # ------------------------------------------------------------------
-    def _records_from_batch(
-        self,
-        metrics: Dict[str, np.ndarray],
-        corners: Sequence[PVTCorner],
-        mismatches: Sequence[Optional[np.ndarray]],
-    ) -> List[SimulationRecord]:
-        """Wrap a batched metric dict into per-condition records."""
-        names = tuple(self._circuit.metric_names)
-        matrix = np.column_stack([np.asarray(metrics[name], float) for name in names])
-        return [
-            SimulationRecord(
-                metrics=dict(zip(names, row.tolist())),
-                corner=corners[index],
-                mismatch=mismatches[index],
-                vector=row,
-                vector_names=names,
-            )
-            for index, row in enumerate(matrix)
-        ]
-
     def metrics_matrix(
         self,
         records: Sequence[SimulationRecord],
@@ -294,7 +241,7 @@ class CircuitSimulator:
         plain ``np.stack`` with no per-record dict lookups.
         """
         if names is None:
-            names = self._circuit.metric_names
+            names = self.circuit.metric_names
         if not records:
             return np.empty((0, len(names)))
         return np.stack([record.metric_vector(names) for record in records])

@@ -1,0 +1,563 @@
+"""Tests for the service-oriented simulation API and the experiment facade.
+
+Covers the PR-3 redesign surface:
+
+* :class:`SimJob` content hashing (stability, equality, shard slicing);
+* :class:`CachingBackend` hit/miss behavior and its budget accounting;
+* the idempotent ``SimulationBudget.charge`` path (double-charge hazard);
+* scalar-vs-batched backend equivalence on all three paper circuits;
+* design-axis sharding through the uniform job dispatcher;
+* the circuit registry redesign (decorator, factories, aliases);
+* :class:`ExperimentConfig` dict/JSON round trip; and
+* a ``python -m repro`` CLI smoke test.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.circuits import DramCoreSenseAmp, FloatingInverterAmplifier, StrongArmLatch
+from repro.circuits.registry import (
+    available_circuits,
+    get_circuit,
+    register_circuit_factory,
+    registered_class,
+    registered_entry,
+)
+from repro.simulation import (
+    BatchedMNABackend,
+    CachingBackend,
+    CircuitSimulator,
+    ReferenceScalarBackend,
+    SimJob,
+    SimulationBudget,
+    SimulationPhase,
+    SimulationService,
+    resolve_backend,
+)
+from repro.variation.corners import (
+    ProcessCorner,
+    PVTCorner,
+    full_corner_set,
+    typical_corner,
+)
+from repro.variation.mismatch import MismatchSampler
+
+ALL_CIRCUITS = [StrongArmLatch, FloatingInverterAmplifier, DramCoreSenseAmp]
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def seeded_mismatch(circuit, x, count, seed=5):
+    sampler = MismatchSampler(
+        circuit.mismatch_model,
+        include_global=True,
+        include_local=True,
+        rng=np.random.default_rng(seed),
+    )
+    return sampler.sample(circuit.denormalize(x), count)
+
+
+# ----------------------------------------------------------------------
+# SimJob value object
+# ----------------------------------------------------------------------
+class TestSimJob:
+    def make_job(self, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0.2, 0.8, size=14)
+        mismatch = rng.standard_normal((4, 20))
+        return SimJob.conditions(
+            "strongarm_latch", x, (typical_corner(),), mismatch
+        )
+
+    def test_hash_is_stable_and_content_keyed(self):
+        first, second = self.make_job(), self.make_job()
+        assert first is not second
+        assert first == second
+        assert first.job_id == second.job_id
+        assert hash(first) == hash(second)
+        # Usable as a cache key.
+        assert {first: "hit"}[second] == "hit"
+
+    def test_hash_changes_with_content(self):
+        base = self.make_job(seed=0)
+        other = self.make_job(seed=1)
+        assert base != other
+        assert base.job_id != other.job_id
+        # Corners participate in the digest too.
+        moved = SimJob.conditions(
+            "strongarm_latch",
+            base.designs[0],
+            (PVTCorner(ProcessCorner.SS, 0.8, -40.0),),
+            base.mismatch,
+        )
+        assert moved.job_id != base.job_id
+
+    def test_hash_distinguishes_rounded_corner_displays(self):
+        # PVTCorner.name rounds vdd to one decimal; the digest must use the
+        # raw floats so physically different corners never collide.
+        base = self.make_job()
+        low = SimJob.conditions(
+            "strongarm_latch",
+            base.designs[0],
+            (PVTCorner(ProcessCorner.TT, 0.82, 27.0),),
+            base.mismatch,
+        )
+        high = SimJob.conditions(
+            "strongarm_latch",
+            base.designs[0],
+            (PVTCorner(ProcessCorner.TT, 0.84, 27.0),),
+            base.mismatch,
+        )
+        assert low.corners[0].name == high.corners[0].name
+        assert low.job_id != high.job_id
+
+    def test_job_does_not_freeze_caller_arrays(self):
+        x = np.full(14, 0.5)
+        mismatch = np.zeros((4, 20))
+        SimJob.conditions("strongarm_latch", x, (typical_corner(),), mismatch)
+        mismatch[0, 0] = 1.0  # the caller's array must stay writable
+        x[0] = 0.9
+
+    def test_batch_and_cost(self):
+        job = self.make_job()
+        assert job.batch == 4
+        assert job.cost == 4
+        designs = np.random.default_rng(2).uniform(size=(6, 14))
+        design_job = SimJob.design_batch(
+            "strongarm_latch", designs, typical_corner()
+        )
+        assert design_job.batch == 6
+        assert design_job.cost == 6
+
+    def test_shard_slices_rows(self):
+        job = self.make_job()
+        shard = job.shard(1, 3)
+        assert shard.batch == 2
+        assert np.array_equal(shard.mismatch, job.mismatch[1:3])
+        assert shard.job_id != job.job_id
+
+    def test_validation(self):
+        x = np.zeros(14)
+        with pytest.raises(ValueError, match="at least one corner"):
+            SimJob.conditions("sal", x, (), None)
+        with pytest.raises(ValueError, match="lengths differ"):
+            SimJob.conditions(
+                "sal",
+                x,
+                (typical_corner(), typical_corner()),
+                np.zeros((3, 20)),
+            )
+        with pytest.raises(ValueError, match="nominal mismatch"):
+            SimJob(
+                circuit_name="sal",
+                designs=np.zeros((2, 14)),
+                corners=(typical_corner(),),
+                mismatch=np.zeros((2, 20)),
+                axis="designs",
+            )
+
+    def test_jobs_are_immutable(self):
+        job = self.make_job()
+        with pytest.raises((ValueError, RuntimeError)):
+            job.designs[0, 0] = 1.0
+        with pytest.raises((ValueError, RuntimeError)):
+            job.mismatch[0, 0] = 1.0
+
+
+# ----------------------------------------------------------------------
+# Budget idempotency + caching
+# ----------------------------------------------------------------------
+class TestBudgetIdempotentCharge:
+    def test_same_job_id_charges_once(self):
+        budget = SimulationBudget()
+        assert budget.charge(SimulationPhase.OPTIMIZATION, 5, job_id="job-a")
+        assert not budget.charge(SimulationPhase.OPTIMIZATION, 5, job_id="job-a")
+        assert budget.total == 5
+        assert budget.charge(SimulationPhase.OPTIMIZATION, 2, job_id="job-b")
+        assert budget.total == 7
+
+    def test_plain_charges_accumulate(self):
+        budget = SimulationBudget()
+        budget.charge(SimulationPhase.VERIFICATION, 3)
+        budget.charge(SimulationPhase.VERIFICATION, 3)
+        assert budget.total == 6
+
+    def test_over_cap_charge_leaves_no_trace(self):
+        """A rejected over-cap charge rolls back and keeps its key free, so
+        a retry aborts again instead of running uncounted."""
+        budget = SimulationBudget(max_simulations=4)
+        budget.charge(SimulationPhase.OPTIMIZATION, 3, job_id="ok")
+        for _ in range(2):  # the retry behaves exactly like the first try
+            with pytest.raises(SimulationBudget.BudgetExhausted):
+                budget.charge(SimulationPhase.OPTIMIZATION, 2, job_id="over")
+        assert budget.total == 3
+        assert "over" not in budget.charged_jobs
+
+    def test_cache_hit_charges_respect_both_flags(self, strongarm):
+        """charge_cache_hits must keep charging even with idempotent_charges
+        on — a hit never consumes the real run's idempotency key."""
+        service = SimulationService(
+            strongarm,
+            cache=True,
+            charge_cache_hits=True,
+            idempotent_charges=True,
+        )
+        x = np.full(strongarm.dimension, 0.5)
+        job = SimJob.conditions(strongarm.name, x, (typical_corner(),), None)
+        service.run(job)
+        service.run(job)
+        service.run(job)
+        assert service.budget.total == 3
+
+    def test_reset_forgets_job_ids(self):
+        budget = SimulationBudget()
+        budget.charge(SimulationPhase.OPTIMIZATION, 1, job_id="job-a")
+        budget.reset()
+        assert budget.charge(SimulationPhase.OPTIMIZATION, 1, job_id="job-a")
+        assert budget.total == 1
+
+    def test_cap_raises_before_evaluation(self, strongarm):
+        """The legacy contract: ``max_simulations`` aborts before any work."""
+
+        class CountingBackend(BatchedMNABackend):
+            def __init__(self):
+                self.calls = 0
+
+            def evaluate(self, circuit, job):
+                self.calls += 1
+                return super().evaluate(circuit, job)
+
+        backend = CountingBackend()
+        service = SimulationService(
+            strongarm,
+            budget=SimulationBudget(max_simulations=3),
+            backend=backend,
+        )
+        job = SimJob.conditions(
+            strongarm.name,
+            np.full(strongarm.dimension, 0.5),
+            (typical_corner(),),
+            np.zeros((5, strongarm.mismatch_dimension)),
+        )
+        with pytest.raises(SimulationBudget.BudgetExhausted):
+            service.run(job)
+        assert backend.calls == 0
+
+    def test_service_idempotent_charges(self, strongarm):
+        service = SimulationService(strongarm, idempotent_charges=True)
+        x = np.full(strongarm.dimension, 0.5)
+        job = SimJob.conditions(strongarm.name, x, (typical_corner(),), None)
+        service.run(job)
+        service.run(job)  # a retry of the identical request
+        assert service.budget.total == 1
+
+    def test_idempotent_charges_are_per_phase(self, strongarm):
+        """Re-simulating the same block in another phase is still charged."""
+        from dataclasses import replace
+
+        service = SimulationService(strongarm, idempotent_charges=True)
+        x = np.full(strongarm.dimension, 0.5)
+        job = SimJob.conditions(
+            strongarm.name,
+            x,
+            (typical_corner(),),
+            None,
+            SimulationPhase.OPTIMIZATION,
+        )
+        service.run(job)
+        service.run(replace(job, phase=SimulationPhase.VERIFICATION))
+        snapshot = service.budget.snapshot()
+        assert snapshot["optimization"] == 1
+        assert snapshot["verification"] == 1
+
+
+class TestCachingBackend:
+    def test_hit_charges_zero_budget(self, strongarm):
+        service = SimulationService(strongarm, cache=True)
+        x = np.full(strongarm.dimension, 0.4)
+        mismatch = seeded_mismatch(strongarm, x, 6)
+        job = SimJob.conditions(
+            strongarm.name, x, (typical_corner(),), mismatch.samples
+        )
+        first = service.run(job)
+        assert not first.cached
+        assert service.budget.total == 6
+        second = service.run(job)
+        assert second.cached
+        assert service.budget.total == 6  # hit = zero charge
+        assert service.cache.hits == 1
+        assert service.cache.misses == 1
+        for name in strongarm.metric_names:
+            assert np.array_equal(first.metrics[name], second.metrics[name])
+
+    def test_charge_cache_hits_restores_paper_counting(self, strongarm):
+        service = SimulationService(strongarm, cache=True, charge_cache_hits=True)
+        x = np.full(strongarm.dimension, 0.4)
+        job = SimJob.conditions(strongarm.name, x, (typical_corner(),), None)
+        service.run(job)
+        service.run(job)
+        assert service.budget.total == 2
+
+    def test_hit_returns_fresh_arrays(self, strongarm):
+        cache = CachingBackend(BatchedMNABackend())
+        x = np.full(strongarm.dimension, 0.4)
+        job = SimJob.conditions(strongarm.name, x, (typical_corner(),), None)
+        first = cache.run(strongarm, job)
+        first.metrics[strongarm.metric_names[0]][0] = -1.0
+        second = cache.run(strongarm, job)
+        assert second.metrics[strongarm.metric_names[0]][0] != -1.0
+
+    def test_distinct_jobs_miss(self, strongarm):
+        service = SimulationService(strongarm, cache=True)
+        x = np.full(strongarm.dimension, 0.4)
+        service.run(SimJob.conditions(strongarm.name, x, (typical_corner(),), None))
+        service.run(
+            SimJob.conditions(
+                strongarm.name, x, (PVTCorner(ProcessCorner.FF, 0.8, 80.0),), None
+            )
+        )
+        assert service.cache.misses == 2
+        assert service.budget.total == 2
+
+    def test_mismatched_circuit_rejected(self, strongarm):
+        service = SimulationService(strongarm)
+        job = SimJob.conditions(
+            "floating_inverter_amplifier", np.zeros(6), (typical_corner(),), None
+        )
+        with pytest.raises(ValueError, match="targets circuit"):
+            service.run(job)
+
+
+# ----------------------------------------------------------------------
+# Backend equivalence + sharding
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("circuit_cls", ALL_CIRCUITS)
+class TestScalarVsBatchedBackend:
+    def simulators(self, circuit):
+        return (
+            CircuitSimulator(circuit, backend="batched"),
+            CircuitSimulator(circuit, backend="scalar"),
+        )
+
+    def test_mismatch_set_equivalent(self, circuit_cls):
+        circuit = circuit_cls()
+        batched, scalar = self.simulators(circuit)
+        x = np.full(circuit.dimension, 0.55)
+        mismatch = seeded_mismatch(circuit, x, 8)
+        fast = batched.simulate_mismatch_set(x, typical_corner(), mismatch)
+        slow = scalar.simulate_mismatch_set(x, typical_corner(), mismatch)
+        assert batched.budget.total == scalar.budget.total == 8
+        for one, two in zip(fast, slow):
+            for name in circuit.metric_names:
+                assert one.metrics[name] == pytest.approx(
+                    two.metrics[name], rel=0, abs=1e-12
+                )
+
+    def test_corner_sweep_equivalent(self, circuit_cls):
+        circuit = circuit_cls()
+        batched, scalar = self.simulators(circuit)
+        x = np.full(circuit.dimension, 0.45)
+        corners = full_corner_set()
+        fast = batched.simulate_corners(x, corners)
+        slow = scalar.simulate_corners(x, corners)
+        for one, two in zip(fast, slow):
+            assert one.corner == two.corner
+            for name in circuit.metric_names:
+                assert one.metrics[name] == pytest.approx(
+                    two.metrics[name], rel=0, abs=1e-12
+                )
+
+    def test_design_batch_equivalent(self, circuit_cls):
+        circuit = circuit_cls()
+        batched, scalar = self.simulators(circuit)
+        designs = np.random.default_rng(11).uniform(
+            0.2, 0.8, size=(5, circuit.dimension)
+        )
+        fast = batched.simulate_designs(designs)
+        slow = scalar.simulate_designs(designs)
+        for one, two in zip(fast, slow):
+            for name in circuit.metric_names:
+                assert one.metrics[name] == pytest.approx(
+                    two.metrics[name], rel=0, abs=1e-12
+                )
+
+
+class TestDesignAxisSharding:
+    def test_sharded_design_batch_identical(self, strongarm):
+        designs = np.random.default_rng(7).uniform(
+            0.2, 0.8, size=(8, strongarm.dimension)
+        )
+        single = CircuitSimulator(strongarm, workers=1).simulate_designs(designs)
+        sharded_sim = CircuitSimulator(strongarm, workers=2)
+        sharded = sharded_sim.simulate_designs(designs)
+        assert sharded_sim.budget.total == 8
+        for fast, slow in zip(sharded, single):
+            for name in strongarm.metric_names:
+                assert fast.metrics[name] == slow.metrics[name]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="unknown simulation backend"):
+            resolve_backend("hspice")
+
+
+# ----------------------------------------------------------------------
+# Registry redesign
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtins_and_aliases(self):
+        assert available_circuits() == [
+            "strongarm_latch",
+            "floating_inverter_amplifier",
+            "dram_core_ocsa",
+        ]
+        assert isinstance(get_circuit("sal"), StrongArmLatch)
+        assert isinstance(get_circuit("DRAM"), DramCoreSenseAmp)
+        assert registered_class("strongarm_latch") is StrongArmLatch
+        assert registered_class("nonexistent") is None
+
+    def test_ladder_netlist_factory(self):
+        ladder = get_circuit("common_source_ladder", stages=3, filter_nodes=1)
+        assert ladder.name == "cs_ladder_3x1"
+        # Parameterized: a different shape on request.
+        assert get_circuit("cs_ladder", stages=2).name.startswith("cs_ladder_2")
+        entry = registered_entry("common_source_ladder")
+        assert entry.kind == "netlist"
+        assert registered_class("common_source_ladder") is None
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_circuit_factory("sal", lambda: None)
+
+    def test_unknown_circuit_error_lists_options(self):
+        with pytest.raises(KeyError, match="strongarm_latch"):
+            get_circuit("no_such_circuit")
+
+
+# ----------------------------------------------------------------------
+# Experiment facade
+# ----------------------------------------------------------------------
+class TestExperimentConfig:
+    def test_json_round_trip(self):
+        from repro.api import ExperimentConfig
+
+        config = ExperimentConfig(
+            circuit="fia",
+            method="C-MCL",
+            algorithm="pvtsizing",
+            seeds=(0, 1),
+            max_iterations=12,
+            verification_samples=4,
+            backend="scalar",
+            workers=2,
+            cache_simulations=True,
+            overrides={"use_reordering": False},
+        )
+        clone = ExperimentConfig.from_json(config.to_json())
+        assert clone == config
+        assert clone.to_dict() == config.to_dict()
+        assert json.loads(config.to_json())["seeds"] == [0, 1]
+        # Frozen value object: usable as a dict key (overrides excluded
+        # from the generated hash).
+        assert {config: "report"}[clone] == "report"
+
+    def test_rejects_unknown_fields_and_values(self):
+        from repro.api import ExperimentConfig
+
+        with pytest.raises(ValueError, match="unknown ExperimentConfig fields"):
+            ExperimentConfig.from_dict({"circus": "sal"})
+        with pytest.raises(ValueError, match="verification method"):
+            ExperimentConfig(method="corner-ish")
+        with pytest.raises(ValueError, match="algorithm"):
+            ExperimentConfig(algorithm="gradient_descent")
+        with pytest.raises(ValueError, match="sizing circuit"):
+            ExperimentConfig(circuit="common_source_ladder")
+        with pytest.raises(ValueError, match="at least one seed"):
+            ExperimentConfig(seeds=())
+
+    def test_glova_config_plumbs_service_knobs(self):
+        from repro.api import ExperimentConfig
+
+        config = ExperimentConfig(
+            circuit="sal", workers=3, backend="scalar", cache_simulations=True
+        )
+        glova = config.glova_config(seed=0)
+        operational = glova.operational()
+        assert operational.workers == 3
+        assert operational.backend == "scalar"
+        assert operational.cache_simulations
+
+    def test_run_baseline_requires_baseline(self):
+        from repro.api import ExperimentConfig, run_baseline
+
+        with pytest.raises(ValueError, match="baseline algorithm"):
+            run_baseline(ExperimentConfig(algorithm="glova"))
+
+
+class TestFacadeRuns:
+    def test_random_search_report_is_serializable(self):
+        from repro.api import ExperimentConfig, run_baseline
+
+        config = ExperimentConfig(
+            circuit="sal",
+            method="C",
+            algorithm="random_search",
+            seeds=(0,),
+            max_iterations=2,
+        )
+        report = run_baseline(config)
+        assert len(report.runs) == 1
+        payload = json.loads(report.to_json())
+        assert payload["config"]["circuit"] == "sal"
+        assert payload["runs"][0]["simulations"]["total"] > 0
+        assert report.total_simulations == payload["runs"][0]["simulations"]["total"]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCommandLine:
+    def run_cli(self, *argv):
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+
+    def test_dry_run_smoke(self):
+        result = self.run_cli("--circuit", "sal", "--method", "C", "--dry-run")
+        assert result.returncode == 0, result.stderr
+        assert "dry run" in result.stdout
+        assert "strongarm_latch" in result.stdout
+        assert "Predefined corners:   30" in result.stdout
+
+    def test_list_circuits(self):
+        result = self.run_cli("--list-circuits")
+        assert result.returncode == 0, result.stderr
+        assert "strongarm_latch" in result.stdout
+        assert "common_source_ladder" in result.stdout
+
+    def test_netlist_circuit_rejected_for_sizing(self):
+        result = self.run_cli("--circuit", "common_source_ladder", "--dry-run")
+        assert result.returncode != 0
+        assert "netlist factory" in result.stderr
+
+    def test_no_cache_flag_overrides_config_file(self, tmp_path):
+        config_path = tmp_path / "experiment.json"
+        config_path.write_text(
+            json.dumps({"circuit": "sal", "cache_simulations": True})
+        )
+        result = self.run_cli(
+            "--config", str(config_path), "--no-cache", "--dry-run"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "cache=off" in result.stdout
