@@ -24,6 +24,8 @@ import json
 import sys
 from typing import List, Optional
 
+import os
+
 from repro import api
 from repro.circuits.registry import (
     NETLIST,
@@ -32,7 +34,8 @@ from repro.circuits.registry import (
     get_circuit,
     registered_entry,
 )
-from repro.simulation import BACKENDS
+from repro.simulation import available_backends
+from repro.simulation.ngspice import EXECUTABLE_ENV
 from repro.version import __version__
 
 
@@ -81,8 +84,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=sorted(BACKENDS),
+        choices=available_backends(),
         help="simulation backend (default: batched)",
+    )
+    parser.add_argument(
+        "--ngspice-executable",
+        metavar="PATH",
+        help=(
+            "simulator binary for --backend ngspice (sets $REPRO_NGSPICE; "
+            "default: ngspice on PATH)"
+        ),
     )
     parser.add_argument(
         "--workers", type=int, metavar="N", help="process-pool shard count"
@@ -187,6 +198,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_circuits:
         _list_circuits()
         return 0
+
+    if args.ngspice_executable:
+        os.environ[EXECUTABLE_ENV] = args.ngspice_executable
 
     # A netlist name is valid for --list-circuits but not for sizing runs;
     # fail with the registry's context before building an ExperimentConfig.

@@ -24,6 +24,10 @@ The facade builds on the service-oriented simulation stack
 (:mod:`repro.simulation.service`): ``backend``, ``workers`` and
 ``cache_simulations`` plumb straight through to the
 :class:`~repro.simulation.service.SimulationService` every optimizer uses.
+Any registered terminal backend is selectable by name — including the
+external-simulator adapter, ``ExperimentConfig(backend="ngspice")``, which
+runs every job through an ngspice binary (``$REPRO_NGSPICE`` or ``ngspice``
+on PATH) with zero control-loop changes.
 """
 
 from __future__ import annotations
@@ -53,6 +57,7 @@ from repro.circuits.registry import (
 from repro.core.config import GlovaConfig, VerificationMethod
 from repro.core.optimizer import GlovaOptimizer
 from repro.core.result import OptimizationResult
+from repro.simulation.service import available_backends
 
 #: Verification scenario labels accepted by :attr:`ExperimentConfig.method`
 #: — derived from the enum so new scenarios are available automatically.
@@ -119,6 +124,11 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown sizing circuit {self.circuit!r}; "
                 f"available: {available_circuits()}"
+            )
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"unknown simulation backend {self.backend!r}; "
+                f"available: {available_backends()}"
             )
 
     # ------------------------------------------------------------------

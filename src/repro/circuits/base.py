@@ -25,8 +25,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.spice.deck import MeasureSpec
 from repro.variation.corners import CornerBatch, PVTCorner, typical_corner
-from repro.variation.distributions import DeviceSpec, MismatchModel
+from repro.variation.distributions import DeviceKind, DeviceSpec, MismatchModel
 
 
 @dataclass(frozen=True)
@@ -424,6 +425,67 @@ class AnalogCircuit(abc.ABC):
             name: np.array([row[name] for row in rows])
             for name in self._constraints
         }
+
+    # ------------------------------------------------------------------
+    # External-simulator (deck) declarations
+    # ------------------------------------------------------------------
+    def measure_specs(self) -> Tuple[MeasureSpec, ...]:
+        """One :class:`~repro.spice.deck.MeasureSpec` per metric.
+
+        The deck compiler (:mod:`repro.spice.deck`) emits one ``.measure``
+        card per metric per batch row from these declarations.  The default
+        is a placeholder ``param`` measure for every metric — enough for
+        measure-log-producing runners (the analytic fake simulator supplies
+        the real values) — and the paper circuits override with expressions
+        tied to their testbench nodes and deck parameters.
+        """
+        return tuple(MeasureSpec(metric) for metric in self.metric_names)
+
+    def build_testbench(self, x_physical: np.ndarray, corner: PVTCorner):
+        """A structural surrogate testbench netlist for this circuit.
+
+        Returns a :class:`repro.spice.netlist.Circuit` sized from the
+        *physical* design vector at the given corner; the deck compiler
+        lowers it to ngspice cards.  The default builds a generic bench from
+        the mismatch model's device specs — a supply, a bias rail and one
+        diode-loaded device per spec — so every testbench (including
+        synthetic test circuits) is deck-compilable; the paper circuits
+        override with their actual topology.
+        """
+        from repro.spice.mosfet import MosfetModel, nmos_28nm, pmos_28nm
+        from repro.spice.netlist import (
+            Capacitor,
+            Circuit,
+            GROUND,
+            Mosfet,
+            Resistor,
+            VoltageSource,
+        )
+
+        vdd = float(corner.vdd)
+        bench = Circuit(self.name)
+        bench.add(VoltageSource("VVDD", "vdd", GROUND, vdd))
+        bench.add(VoltageSource("VBIAS", "bias", GROUND, 0.55 * vdd))
+        bench.add(Resistor("R_load", "vdd", "out", 1e4))
+        for spec in self._mismatch_model.devices:
+            if spec.kind in (DeviceKind.NMOS, DeviceKind.PMOS):
+                width = max(
+                    float(spec.width_of(x_physical)) * 1e-6, MosfetModel.MIN_WIDTH
+                )
+                length = max(
+                    float(spec.length_of(x_physical)) * 1e-6, MosfetModel.MIN_LENGTH
+                )
+                if spec.kind is DeviceKind.NMOS:
+                    model = MosfetModel(width, length, nmos_28nm())
+                    bench.add(Mosfet(spec.name, "out", "bias", GROUND, model))
+                else:
+                    model = MosfetModel(width, length, pmos_28nm())
+                    bench.add(Mosfet(spec.name, "out", "bias", "vdd", model))
+            elif spec.kind is DeviceKind.CAPACITOR:
+                bench.add(
+                    Capacitor(spec.name, "out", GROUND, float(spec.cap_of(x_physical)))
+                )
+        return bench
 
     def is_feasible(self, metrics: Dict[str, float]) -> bool:
         """True when every metric meets its constraint bound."""

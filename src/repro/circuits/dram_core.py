@@ -40,7 +40,9 @@ import numpy as np
 
 from repro.circuits.base import AnalogCircuit, SizingParameter
 from repro.circuits.registry import register_circuit
+from repro.spice.deck import MeasureSpec
 from repro.spice.mosfet import BOLTZMANN, MosfetModel, nmos_28nm, pmos_28nm
+from repro.spice.netlist import Capacitor, Circuit, GROUND, Mosfet, VoltageSource
 from repro.variation.corners import PVTCorner
 from repro.variation.distributions import DeviceKind, DeviceSpec
 
@@ -135,6 +137,85 @@ class DramCoreSenseAmp(AnalogCircuit):
             mos("M_sh_ndrv", self.W_SH_N, self.L_SH_N, DeviceKind.NMOS),
             mos("M_sh_pdrv", self.W_SH_P, self.L_SH_P, DeviceKind.PMOS),
         ]
+
+    # ------------------------------------------------------------------
+    # External-simulator declarations (see repro.spice.deck)
+    # ------------------------------------------------------------------
+    def measure_specs(self):
+        return (
+            # Sign-flipped sensing voltages sampled at the capture instant.
+            MeasureSpec(
+                "neg_delta_v_d0", "tran", "find par('v(bl)-v(blb)') at=2.0e-09"
+            ),
+            MeasureSpec(
+                "neg_delta_v_d1", "tran", "find par('v(blb)-v(bl)') at=2.0e-09"
+            ),
+            # Gate-charge estimate over deck params; calibrated values come
+            # from the analytic engine (fake-simulator path).
+            # Deck params carry SI meters, so W*L is already m^2 and the
+            # 0.012 F/m^2 oxide capacitance applies directly.
+            MeasureSpec(
+                "energy_per_bit",
+                "tran",
+                "param='(2.0*p_w_nsa*p_l_nsa+2.0*p_w_psa*p_l_psa)"
+                "*0.012*vdd_val*vdd_val'",
+            ),
+        )
+
+    def build_testbench(self, x: np.ndarray, corner: PVTCorner) -> Circuit:
+        """Structural OCSA + subhole testbench: precharged open bitlines,
+        cross-coupled sense pairs and the shared common-source drivers."""
+        vdd = float(corner.vdd)
+        bench = Circuit(self.name)
+        bench.add(VoltageSource("VVDD", "vdd", GROUND, vdd))
+        bench.add(VoltageSource("VPRE", "pre", GROUND, 0.5 * vdd))
+        bench.add(Capacitor("C_bl", "bl", GROUND, BITLINE_CAPACITANCE))
+        bench.add(Capacitor("C_blb", "blb", GROUND, BITLINE_CAPACITANCE))
+        bench.add(Capacitor("C_cell", "bl", GROUND, CELL_CAPACITANCE))
+        bench.add(Capacitor("C_csl", "csn", GROUND, CSL_CAPACITANCE))
+        m_nsa = MosfetModel(x[self.W_NSA], x[self.L_NSA], nmos_28nm())
+        bench.add(Mosfet("M_nsa_a", "bl", "blb", "csn", m_nsa))
+        bench.add(Mosfet("M_nsa_b", "blb", "bl", "csn", m_nsa))
+        m_psa = MosfetModel(x[self.W_PSA], x[self.L_PSA], pmos_28nm())
+        bench.add(Mosfet("M_psa_a", "bl", "blb", "csp", m_psa))
+        bench.add(Mosfet("M_psa_b", "blb", "bl", "csp", m_psa))
+        bench.add(
+            Mosfet(
+                "M_oc_switch",
+                "bl",
+                "vdd",
+                "blb",
+                MosfetModel(x[self.W_OC], x[self.L_OC], nmos_28nm()),
+            )
+        )
+        bench.add(
+            Mosfet(
+                "M_precharge",
+                "bl",
+                "vdd",
+                "pre",
+                MosfetModel(x[self.W_PRE], x[self.L_PRE], nmos_28nm()),
+            )
+        )
+        bench.add(
+            Mosfet(
+                "M_sh_ndrv",
+                "csn",
+                "vdd",
+                GROUND,
+                MosfetModel(x[self.W_SH_N], x[self.L_SH_N], nmos_28nm()),
+            )
+        )
+        bench.add(
+            Mosfet(
+                "M_sh_pdrv",
+                "csp",
+                GROUND,
+                "vdd",
+                MosfetModel(x[self.W_SH_P], x[self.L_SH_P], pmos_28nm()),
+            )
+        )
+        return bench
 
     # ------------------------------------------------------------------
     def _evaluate_physical_batch(

@@ -29,7 +29,9 @@ import numpy as np
 
 from repro.circuits.base import AnalogCircuit, SizingParameter
 from repro.circuits.registry import register_circuit
+from repro.spice.deck import MeasureSpec
 from repro.spice.mosfet import BOLTZMANN, MosfetModel, nmos_28nm, pmos_28nm
+from repro.spice.netlist import Capacitor, Circuit, GROUND, Mosfet, Resistor, VoltageSource
 from repro.variation.corners import PVTCorner
 from repro.variation.distributions import DeviceKind, DeviceSpec
 
@@ -99,6 +101,46 @@ class FloatingInverterAmplifier(AnalogCircuit):
                 cap_of=lambda x: x[self.C_LOAD],
             ),
         ]
+
+    # ------------------------------------------------------------------
+    # External-simulator declarations (see repro.spice.deck)
+    # ------------------------------------------------------------------
+    def measure_specs(self):
+        return (
+            # Reservoir + switched-load charge drawn from VDD each cycle.
+            MeasureSpec(
+                "energy_per_conversion",
+                "tran",
+                "param='(0.9*p_c_reservoir+2.0*p_c_load)*vdd_val*vdd_val'",
+            ),
+            # Crest-factored kT/C estimate; calibrated values come from the
+            # analytic engine (fake-simulator path).
+            MeasureSpec(
+                "noise",
+                "tran",
+                "param='6.0*sqrt(4.0*1.380649e-23*(temp_val+273.15)/p_c_load)'",
+            ),
+        )
+
+    def build_testbench(self, x: np.ndarray, corner: PVTCorner) -> Circuit:
+        """Structural FIA testbench: pseudo-differential inverter pair
+        floating on the reservoir capacitor, plus output loads."""
+        vdd = float(corner.vdd)
+        bench = Circuit(self.name)
+        bench.add(VoltageSource("VVDD", "vdd", GROUND, vdd))
+        bench.add(VoltageSource("VINP", "inp", GROUND, 0.5 * vdd))
+        bench.add(VoltageSource("VINN", "inn", GROUND, 0.5 * vdd))
+        bench.add(Resistor("R_charge", "vdd", "res", 1e3))
+        bench.add(Capacitor("C_reservoir", "res", GROUND, x[self.C_RESERVOIR]))
+        m_pmos = MosfetModel(x[self.W_PMOS], x[self.L_PMOS], pmos_28nm())
+        m_nmos = MosfetModel(x[self.W_NMOS], x[self.L_NMOS], nmos_28nm())
+        bench.add(Mosfet("M_pmos_a", "outp", "inp", "res", m_pmos))
+        bench.add(Mosfet("M_pmos_b", "outn", "inn", "res", m_pmos))
+        bench.add(Mosfet("M_nmos_a", "outp", "inp", GROUND, m_nmos))
+        bench.add(Mosfet("M_nmos_b", "outn", "inn", GROUND, m_nmos))
+        bench.add(Capacitor("C_load_p", "outp", GROUND, x[self.C_LOAD]))
+        bench.add(Capacitor("C_load_n", "outn", GROUND, x[self.C_LOAD]))
+        return bench
 
     # ------------------------------------------------------------------
     def _evaluate_physical_batch(

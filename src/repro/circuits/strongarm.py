@@ -35,7 +35,9 @@ import numpy as np
 
 from repro.circuits.base import AnalogCircuit, SizingParameter
 from repro.circuits.registry import register_circuit
+from repro.spice.deck import MeasureSpec
 from repro.spice.mosfet import BOLTZMANN, MosfetModel, nmos_28nm, pmos_28nm
+from repro.spice.netlist import Capacitor, Circuit, GROUND, Mosfet, Resistor, VoltageSource
 from repro.variation.corners import PVTCorner
 from repro.variation.distributions import DeviceKind, DeviceSpec
 
@@ -125,6 +127,66 @@ class StrongArmLatch(AnalogCircuit):
                 cap_of=lambda x: x[self.C_OFFSET],
             ),
         ]
+
+    # ------------------------------------------------------------------
+    # External-simulator declarations (see repro.spice.deck)
+    # ------------------------------------------------------------------
+    def measure_specs(self):
+        return (
+            MeasureSpec("power", "tran", "avg par('-i(vvdd)*v(vdd)')"),
+            MeasureSpec(
+                "set_delay",
+                "tran",
+                "trig v(clk) val='0.5*vdd_val' rise=1 "
+                "targ v(outp) val='0.5*vdd_val' rise=1",
+            ),
+            MeasureSpec(
+                "reset_delay",
+                "tran",
+                "trig v(clk) val='0.5*vdd_val' fall=1 "
+                "targ v(outp) val='0.9*vdd_val' rise=1",
+            ),
+            # First-order kT/C estimate over deck params; the calibrated
+            # value comes from the analytic engine (fake-simulator path).
+            MeasureSpec(
+                "noise",
+                "tran",
+                "param='sqrt(2.0*1.380649e-23*(temp_val+273.15)/p_c_load)'",
+            ),
+        )
+
+    def build_testbench(self, x: np.ndarray, corner: PVTCorner) -> Circuit:
+        """Structural SAL testbench: clocked tail, input pair, cross-coupled
+        latch, precharge/reset devices and the offset-storage network."""
+        vdd = float(corner.vdd)
+        nmos = lambda w, l: MosfetModel(x[w], x[l], nmos_28nm())
+        pmos = lambda w, l: MosfetModel(x[w], x[l], pmos_28nm())
+        bench = Circuit(self.name)
+        bench.add(VoltageSource("VVDD", "vdd", GROUND, vdd))
+        bench.add(VoltageSource("VCLK", "clk", GROUND, vdd))
+        bench.add(VoltageSource("VINP", "inp", GROUND, 0.55 * vdd))
+        bench.add(VoltageSource("VINN", "inn", GROUND, 0.55 * vdd))
+        bench.add(Mosfet("M_tail", "tail", "clk", GROUND, nmos(self.W_TAIL, self.L_TAIL)))
+        m_input = nmos(self.W_INPUT, self.L_INPUT)
+        bench.add(Mosfet("M_input_a", "outn", "inp", "tail", m_input))
+        bench.add(Mosfet("M_input_b", "outp", "inn", "tail", m_input))
+        m_latch_n = nmos(self.W_LATCH_N, self.L_LATCH_N)
+        bench.add(Mosfet("M_latch_n_a", "outp", "outn", "tail", m_latch_n))
+        bench.add(Mosfet("M_latch_n_b", "outn", "outp", "tail", m_latch_n))
+        m_latch_p = pmos(self.W_LATCH_P, self.L_LATCH_P)
+        bench.add(Mosfet("M_latch_p_a", "outp", "outn", "vdd", m_latch_p))
+        bench.add(Mosfet("M_latch_p_b", "outn", "outp", "vdd", m_latch_p))
+        m_precharge = pmos(self.W_PRECHARGE, self.L_PRECHARGE)
+        bench.add(Mosfet("M_precharge_a", "outp", "clk", "vdd", m_precharge))
+        bench.add(Mosfet("M_precharge_b", "outn", "clk", "vdd", m_precharge))
+        m_reset = pmos(self.W_RESET, self.L_RESET)
+        bench.add(Mosfet("M_reset_a", "outp", "clk", "vdd", m_reset))
+        bench.add(Mosfet("M_reset_b", "outn", "clk", "vdd", m_reset))
+        bench.add(Capacitor("C_load_p", "outp", GROUND, x[self.C_LOAD]))
+        bench.add(Capacitor("C_load_n", "outn", GROUND, x[self.C_LOAD]))
+        bench.add(Resistor("R_offset", "inp", "osn", 1e3))
+        bench.add(Capacitor("C_offset", "osn", GROUND, x[self.C_OFFSET]))
+        return bench
 
     # ------------------------------------------------------------------
     def _evaluate_physical_batch(

@@ -7,6 +7,9 @@ corner block × mismatch block + phase tag) evaluated by a
 
 * :class:`BatchedMNABackend` — the vectorized production engine;
 * :class:`ReferenceScalarBackend` — the bit-exact scalar reference path;
+* :class:`NgspiceBackend` — the external-simulator adapter: compiles each
+  job to an ngspice netlist deck and parses ``.measure`` results back into
+  the metrics tensor (:mod:`repro.simulation.ngspice`);
 * :class:`CachingBackend` — memoizes results by job content hash (a hit
   charges zero budget);
 * sharding — ``workers > 1`` splits any job's batch axis (mismatch,
@@ -39,7 +42,13 @@ from repro.simulation.service import (
     SimulationBackend,
     SimulationRecord,
     SimulationService,
+    available_backends,
     resolve_backend,
+)
+from repro.simulation.ngspice import (  # registers the "ngspice" backend
+    NgspiceBackend,
+    NgspiceError,
+    NgspiceRunner,
 )
 from repro.simulation.simulator import CircuitSimulator
 
@@ -54,8 +63,12 @@ __all__ = [
     "SimulationService",
     "BatchedMNABackend",
     "ReferenceScalarBackend",
+    "NgspiceBackend",
+    "NgspiceError",
+    "NgspiceRunner",
     "CachingBackend",
     "ShardedDispatcher",
     "BACKENDS",
+    "available_backends",
     "resolve_backend",
 ]

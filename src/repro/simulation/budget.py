@@ -86,6 +86,27 @@ class SimulationBudget:
             self.charged_jobs.add(job_id)
         return True
 
+    def refund(
+        self,
+        phase: SimulationPhase,
+        count: int,
+        job_id: Optional[str] = None,
+    ) -> None:
+        """Roll back a counted charge whose job failed before producing
+        results (e.g. a worker raising mid-shard).  Releases the idempotency
+        key too, so the retry charges exactly like a first attempt instead
+        of running uncounted."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        current = self.counts.get(phase, 0)
+        if count > current:
+            raise ValueError(
+                f"refund of {count} exceeds the {phase.value} charge"
+            )
+        self.counts[phase] = current - count
+        if job_id is not None:
+            self.charged_jobs.discard(job_id)
+
     def record(self, phase: SimulationPhase, count: int = 1) -> None:
         """Backwards-compatible alias for :meth:`charge` without a job id."""
         self.charge(phase, count)

@@ -1,0 +1,235 @@
+"""External-simulator backend: run :class:`SimJob` decks through ngspice.
+
+The paper's method is simulator-agnostic — the control loop only consumes a
+metrics tensor per (design, corner, mismatch) block — so the real-SPICE
+adapter is just another :class:`~repro.simulation.service.SimulationBackend`
+behind the service boundary:
+
+* :class:`NgspiceRunner` — writes a compiled deck
+  (:func:`repro.spice.deck.compile_job_deck`) to a scratch directory and
+  shells out to ``ngspice -b -o run.log deck.cir`` with a wall-clock
+  timeout.  The executable path is **explicit**: constructor argument
+  first, then the :data:`EXECUTABLE_ENV` environment variable (read at
+  call time so worker processes resolve it too), then plain ``ngspice`` —
+  which is exactly what lets the test suite inject a hermetic fake
+  simulator without any ngspice installed.
+* :class:`NgspiceBackend` — compiles the job, runs the deck, and
+  reassembles the ``(B, metrics)`` tensor from the measure log
+  (:func:`repro.spice.deck.parse_measure_log`).  Failure handling is
+  deliberately graceful by default: a timeout, a nonzero exit or a missing
+  executable degrades to an all-NaN block (with a warning) and failed /
+  partial measures become NaN cells — the reward pipeline already treats
+  NaN metrics as constraint violations, so a flaky simulator slows the
+  search instead of crashing it.  Set ``strict=True`` (or
+  :data:`STRICT_ENV`) to raise :class:`NgspiceError` instead, e.g. in CI.
+
+Registered in :data:`~repro.simulation.service.BACKENDS` as ``"ngspice"``,
+so ``ExperimentConfig(backend="ngspice")`` / ``--backend ngspice`` select it
+with zero control-loop changes, and it composes with
+:class:`~repro.simulation.service.CachingBackend` and
+:class:`~repro.simulation.service.ShardedDispatcher` like any terminal
+backend (workers rebuild it by name from the registry).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import tempfile
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuits.base import AnalogCircuit
+from repro.simulation.service import BACKENDS, SimJob, SimulationBackend
+from repro.spice.deck import Deck, compile_job_deck, parse_measure_log
+
+#: Environment variable naming the simulator executable (tests point this at
+#: the fake simulator; production deployments at a pinned ngspice build).
+EXECUTABLE_ENV = "REPRO_NGSPICE"
+
+#: Environment variable turning simulator failures into raised errors.
+STRICT_ENV = "REPRO_NGSPICE_STRICT"
+
+#: Fallback executable name resolved through PATH.
+DEFAULT_EXECUTABLE = "ngspice"
+
+#: Default wall-clock limit for one deck run (seconds).
+DEFAULT_TIMEOUT = 120.0
+
+
+class NgspiceError(RuntimeError):
+    """A simulator invocation failed (missing binary, timeout, bad exit)."""
+
+
+@dataclass
+class NgspiceRun:
+    """Outcome of one simulator invocation."""
+
+    command: list
+    returncode: Optional[int]
+    log_text: str = ""
+    stdout: str = ""
+    stderr: str = ""
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.returncode == 0 and not self.timed_out
+
+    def describe_failure(self) -> str:
+        if self.timed_out:
+            return f"timed out: {' '.join(self.command)}"
+        tail = self.stderr.strip().splitlines()[-3:]
+        detail = ("; " + " | ".join(tail)) if tail else ""
+        return f"exit {self.returncode}: {' '.join(self.command)}{detail}"
+
+
+class NgspiceRunner:
+    """Runs deck text through an external simulator in batch mode."""
+
+    def __init__(
+        self,
+        executable: Optional[str] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        self._executable = executable
+        self.timeout = float(timeout)
+
+    @property
+    def executable(self) -> str:
+        """Explicit path, else :data:`EXECUTABLE_ENV`, else ``ngspice``.
+
+        The environment is consulted at call time (not construction time) so
+        sharded worker processes — which rebuild backends by registry name —
+        resolve the same executable as the parent.  Path-like values (ones
+        containing a separator, e.g. ``./tools/ngspice``) are absolutized
+        against the caller's cwd: the subprocess runs inside a scratch temp
+        directory, which would otherwise silently break relative paths.
+        """
+        resolved = self._executable or os.environ.get(EXECUTABLE_ENV) or (
+            DEFAULT_EXECUTABLE
+        )
+        if os.sep in resolved or (os.altsep and os.altsep in resolved):
+            return os.path.abspath(resolved)
+        return resolved
+
+    def run_deck(self, deck_text: str, tag: str = "job") -> NgspiceRun:
+        """Execute one deck; never raises for simulator-side failures.
+
+        A missing executable raises :class:`NgspiceError` (the deployment is
+        broken, not the simulation); everything else — timeouts, nonzero
+        exits — is reported on the returned :class:`NgspiceRun` so the
+        backend can decide between NaN degradation and strict failure.
+        """
+        with tempfile.TemporaryDirectory(prefix="repro-ngspice-") as scratch:
+            deck_path = os.path.join(scratch, f"{tag}.cir")
+            log_path = os.path.join(scratch, f"{tag}.log")
+            with open(deck_path, "w", encoding="utf-8") as handle:
+                handle.write(deck_text)
+            command = [self.executable, "-b", "-o", log_path, deck_path]
+            timed_out = False
+            try:
+                completed = subprocess.run(
+                    command,
+                    capture_output=True,
+                    text=True,
+                    timeout=self.timeout,
+                    cwd=scratch,
+                )
+                returncode: Optional[int] = completed.returncode
+                stdout, stderr = completed.stdout, completed.stderr
+            except FileNotFoundError:
+                raise NgspiceError(
+                    f"simulator executable {self.executable!r} not found; "
+                    f"install ngspice or point ${EXECUTABLE_ENV} at it"
+                ) from None
+            except subprocess.TimeoutExpired as expired:
+                timed_out = True
+                returncode = None
+                stdout = _decode(expired.stdout)
+                stderr = _decode(expired.stderr)
+            log_text = ""
+            if os.path.exists(log_path):
+                with open(log_path, "r", encoding="utf-8", errors="replace") as handle:
+                    log_text = handle.read()
+            return NgspiceRun(
+                command=command,
+                returncode=returncode,
+                log_text=log_text,
+                stdout=stdout,
+                stderr=stderr,
+                timed_out=timed_out,
+            )
+
+
+def _decode(raw) -> str:
+    if raw is None:
+        return ""
+    if isinstance(raw, bytes):
+        return raw.decode("utf-8", errors="replace")
+    return str(raw)
+
+
+def _strict_default() -> bool:
+    return os.environ.get(STRICT_ENV, "").strip().lower() in ("1", "true", "yes")
+
+
+class NgspiceBackend(SimulationBackend):
+    """Terminal backend evaluating jobs through an external ngspice binary.
+
+    Parameters
+    ----------
+    executable:
+        Simulator binary; defaults to ``$REPRO_NGSPICE`` then ``ngspice``.
+    timeout:
+        Per-deck wall-clock limit in seconds.
+    strict:
+        Raise :class:`NgspiceError` on simulator failure instead of
+        degrading to NaN metrics; defaults to ``$REPRO_NGSPICE_STRICT``.
+    """
+
+    name = "ngspice"
+
+    def __init__(
+        self,
+        executable: Optional[str] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        strict: Optional[bool] = None,
+    ):
+        self.runner = NgspiceRunner(executable=executable, timeout=timeout)
+        self.strict = _strict_default() if strict is None else bool(strict)
+
+    def compile(self, circuit: AnalogCircuit, job: SimJob) -> Deck:
+        """The deck this backend would run for ``job`` (exposed for tests,
+        golden files and debugging)."""
+        return compile_job_deck(job, circuit)
+
+    def evaluate(
+        self, circuit: AnalogCircuit, job: SimJob
+    ) -> Dict[str, np.ndarray]:
+        deck = self.compile(circuit, job)
+        run = self.runner.run_deck(deck.text, tag=circuit.name)
+        if not run.ok:
+            message = f"ngspice run failed ({run.describe_failure()})"
+            if self.strict:
+                raise NgspiceError(message)
+            warnings.warn(
+                f"{message}; reporting NaN metrics for the whole "
+                f"{job.batch}-row block",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return {
+                name: np.full(job.batch, np.nan) for name in circuit.metric_names
+            }
+        # Measures land in the -o log; ngspice also echoes them on stdout,
+        # so parse both (the fake writes only the log).
+        return parse_measure_log(
+            run.log_text + "\n" + run.stdout, job.batch, circuit.metric_names
+        )
+
+
+BACKENDS[NgspiceBackend.name] = NgspiceBackend

@@ -29,7 +29,43 @@ call:
 
 Budget accounting is charged at the service, not in the backends, so cache
 hits and retried shards can never inflate the paper's "# Simulation"
-column (see :meth:`repro.simulation.budget.SimulationBudget.charge`).
+column (see :meth:`repro.simulation.budget.SimulationBudget.charge`), and a
+backend failure *refunds* the charge — a job that never produced metrics is
+never counted (see :meth:`SimulationService.run`).
+
+Writing a backend
+-----------------
+A terminal backend is a class with a unique ``name`` and one method::
+
+    class MyBackend(SimulationBackend):
+        name = "mine"
+
+        def evaluate(self, circuit, job):  # -> {metric: (B,) array}
+            ...
+
+    BACKENDS[MyBackend.name] = MyBackend
+
+Contract, in order of importance:
+
+1. Return one ``(job.batch,)`` float array per ``circuit.metric_names``
+   entry, rows aligned with ``job.row_corners`` / ``job.mismatch`` (or
+   ``job.designs`` for design-axis jobs).  Use NaN for rows the engine
+   could not evaluate — the reward pipeline treats NaN as a constraint
+   violation, so partial failures degrade instead of crashing.
+2. Never touch the budget; the service owns all accounting.
+3. The zero-argument constructor must build a working instance (worker
+   processes rebuild backends from :data:`BACKENDS` by name; pull
+   configuration from the environment the way
+   :class:`repro.simulation.ngspice.NgspiceBackend` resolves its
+   executable).
+4. Raise for deployment errors, degrade (NaN) for simulation errors.
+   Raising aborts the job and refunds its budget charge.
+
+Registered names are automatically selectable from
+``ExperimentConfig(backend=...)`` and ``python -m repro --backend ...``,
+and compose with :class:`CachingBackend` / :class:`ShardedDispatcher`
+without further wiring.  See :mod:`repro.simulation.ngspice` for a complete
+external-process example.
 """
 
 from __future__ import annotations
@@ -389,6 +425,19 @@ BACKENDS: Dict[str, type] = {
 }
 
 
+# The ngspice adapter lives in its own module (subprocess plumbing the
+# in-process backends never need) and registers itself into BACKENDS when
+# repro/simulation/__init__.py imports it — which Python guarantees has
+# happened before any repro.simulation.* submodule finishes importing, so
+# resolve_backend("ngspice") works everywhere, including inside sharded
+# worker processes.
+
+
+def available_backends() -> List[str]:
+    """Sorted registry names of every terminal backend."""
+    return sorted(BACKENDS)
+
+
 def resolve_backend(backend: Union[str, SimulationBackend]) -> SimulationBackend:
     """A backend instance from a registry name (or pass one through)."""
     if isinstance(backend, SimulationBackend):
@@ -438,6 +487,14 @@ class CachingBackend(SimulationBackend):
         return {name: values.copy() for name, values in stored.items()}
 
     def store(self, job: SimJob, metrics: Dict[str, np.ndarray]) -> None:
+        # An all-NaN block is the NaN-degradation signature of an
+        # infrastructure failure (simulator timeout / crash), not a result;
+        # caching it would turn a transient flake into a permanent wrong
+        # answer for this job.  Partially-NaN blocks (individual failed
+        # measures) are still results and stay cacheable.
+        blocks = list(metrics.values())
+        if blocks and all(np.isnan(block).all() for block in blocks):
+            return
         self._cache[job.job_id] = {
             name: values.copy() for name, values in metrics.items()
         }
@@ -571,7 +628,7 @@ class SimulationService:
         return self._cache
 
     # ------------------------------------------------------------------
-    def _charge(self, job: SimJob, count: int) -> None:
+    def _charge(self, job: SimJob, count: int) -> Tuple[bool, Optional[str]]:
         # The idempotency key includes the phase (the content hash alone
         # would swallow a legitimate re-simulation of the same block in a
         # different phase), and zero charges never consume a key — only a
@@ -579,12 +636,17 @@ class SimulationService:
         job_id = None
         if self._idempotent_charges and count > 0:
             job_id = f"{job.phase.value}:{job.job_id}"
-        self._budget.charge(job.phase, count, job_id=job_id)
+        counted = self._budget.charge(job.phase, count, job_id=job_id)
+        return counted, job_id
 
     def run(self, job: SimJob) -> SimResult:
         """Evaluate one job, charging the budget before any simulation runs
         (so a ``max_simulations`` cap aborts without spending work, exactly
-        as the pre-service entry points did)."""
+        as the pre-service entry points did).  If the backend then *fails* —
+        a worker raising mid-shard, an external simulator crashing in strict
+        mode — the charge is refunded and the idempotency key released
+        before the exception propagates: a job that produced no metrics is
+        never counted, and its retry charges (once) like a first attempt."""
         if job.circuit_name != self._circuit.name:
             raise ValueError(
                 f"job targets circuit {job.circuit_name!r} but this service "
@@ -605,8 +667,13 @@ class SimulationService:
                     cached=True,
                     backend=self._cache.name,
                 )
-        self._charge(job, job.cost)
-        result = self._dispatch.run(self._circuit, job)
+        counted, job_id = self._charge(job, job.cost)
+        try:
+            result = self._dispatch.run(self._circuit, job)
+        except BaseException:
+            if counted:
+                self._budget.refund(job.phase, job.cost, job_id=job_id)
+            raise
         if self._cache is not None:
             self._cache.store(job, result.metrics)
         return result

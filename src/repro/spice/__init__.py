@@ -9,8 +9,10 @@ simulator built on modified nodal analysis (MNA), with
   mismatch-aware parameters (:mod:`repro.spice.mosfet`),
 * DC operating-point solution via damped Newton iteration
   (:mod:`repro.spice.dc`),
-* backward-Euler transient analysis (:mod:`repro.spice.transient`), and
-* output-referred thermal-noise estimation (:mod:`repro.spice.noise`).
+* backward-Euler transient analysis (:mod:`repro.spice.transient`),
+* output-referred thermal-noise estimation (:mod:`repro.spice.noise`), and
+* an ngspice-dialect deck compiler + measure-log parser bridging the
+  netlist model to external simulators (:mod:`repro.spice.deck`).
 
 The behavioural testbenches in :mod:`repro.circuits` use the device model
 directly for their analytic performance expressions and use the solvers for
@@ -40,8 +42,22 @@ from repro.spice.batched import (
     solve_transient_batched,
 )
 from repro.spice.noise import thermal_noise_voltage, ktc_noise, mosfet_thermal_noise_current
+from repro.spice.deck import (
+    Deck,
+    DeckParseError,
+    MeasureSpec,
+    compile_job_deck,
+    parse_deck_job,
+    parse_measure_log,
+)
 
 __all__ = [
+    "Deck",
+    "DeckParseError",
+    "MeasureSpec",
+    "compile_job_deck",
+    "parse_deck_job",
+    "parse_measure_log",
     "BatchedDCSolution",
     "BatchedMNAStamper",
     "BatchedTransientResult",

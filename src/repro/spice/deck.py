@@ -1,0 +1,440 @@
+"""SimJob → ngspice-dialect netlist deck compiler and measure-log parser.
+
+External SPICE engines consume text, not python objects, so the
+external-simulator backend (:mod:`repro.simulation.ngspice`) lowers every
+:class:`~repro.simulation.service.SimJob` into a *deck*: a self-contained
+ngspice-dialect netlist that carries
+
+* a **machine payload** — structured ``*:``-prefixed comment cards holding a
+  full-precision image of the job (designs, corners, mismatch rows, phase),
+  so the deck round-trips losslessly back into an equal ``SimJob``
+  (:func:`parse_deck_job`).  The hermetic fake simulator used by the test
+  suite reads exactly this section;
+* a **testbench netlist** — the circuit's structural surrogate testbench
+  (:meth:`repro.circuits.base.AnalogCircuit.build_testbench`) lowered from
+  :mod:`repro.spice.netlist` elements to ngspice cards, with one ``.model``
+  card per distinct device polarity/technology;
+* **per-row sections** — ``.param``/``.alter``-style blocks, one per batch
+  row, each with alphabetically sorted ``.param`` cards (physical design
+  values, ``vdd_val``, ``temp_val``, process-shift params), a ``.temp``
+  card, the ``.op``/``.tran`` analyses and one ``.measure`` card per metric
+  (:meth:`repro.circuits.base.AnalogCircuit.measure_specs`), row-suffixed so
+  measure names never collide.
+
+Single-row decks are plain valid ngspice and can be batch-run directly
+(``ngspice -b -o run.log deck.cir``); multi-row decks are consumed by
+measure-log-producing runners (the fake simulator, or a future
+``.alter``-capable dialect) that understand the row sections natively.
+
+Serialization is **normalized** — sorted params, fixed float formats
+(:data:`PAYLOAD_FLOAT` for the payload, :data:`CARD_FLOAT` for cards) — so
+golden-deck regressions diff readably and payload floats round-trip
+bit-exactly (17 significant digits reproduce any IEEE double).
+
+The reverse direction, :func:`parse_measure_log`, reassembles the
+``{metric: (B,) array}`` tensor from ngspice measure output
+(``name = value`` lines, case-insensitive); failed or missing measures
+become NaN rows, which the reward pipeline already tolerates.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.spice.netlist import (
+    VCCS,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Element,
+    GROUND,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+from repro.variation.corners import ProcessCorner, PVTCorner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.simulation.service import SimJob
+
+#: Deck layout version, stamped into (and checked from) the payload.
+FORMAT_VERSION = 1
+
+#: Payload float format: 17 significant digits round-trip any IEEE double,
+#: so ``parse_deck_job(compile_job_deck(job, c).text) == job`` holds exactly.
+PAYLOAD_FLOAT = ".17e"
+
+#: Card float format for the human-facing netlist / ``.param`` sections.
+CARD_FLOAT = ".9e"
+
+#: Prefix of the machine-payload comment cards.
+PAYLOAD_PREFIX = "*:"
+
+#: Transient analysis grid shared by every deck (step, stop) in seconds.
+TRAN_STEP = 1e-11
+TRAN_STOP = 5e-9
+
+
+def payload_float(value: float) -> str:
+    return format(float(value), PAYLOAD_FLOAT)
+
+
+def card_float(value: float) -> str:
+    return format(float(value), CARD_FLOAT)
+
+
+# ----------------------------------------------------------------------
+# Measure declarations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MeasureSpec:
+    """How one circuit metric is measured in a SPICE deck.
+
+    Attributes
+    ----------
+    metric:
+        Metric name; must match a key of the circuit's constraints.
+    analysis:
+        Analysis the measure binds to (``"tran"`` or ``"op"``).
+    expression:
+        The measure-card body after the measure name (trig/targ spec, an
+        ``avg``/``find`` clause, or a ``param='...'`` expression over the
+        deck's ``.param`` cards).  Empty means a placeholder param measure —
+        the external engine reports 0 and only measure-log-producing
+        runners (e.g. the analytic fake) supply the real value.
+    """
+
+    metric: str
+    analysis: str = "tran"
+    expression: str = ""
+
+    def card(self, row: int) -> str:
+        body = self.expression if self.expression else "param='0'"
+        return f".meas {self.analysis} {measure_name(self.metric, row)} {body}"
+
+
+def measure_name(metric: str, row: int) -> str:
+    """The row-suffixed measure identifier emitted into the deck."""
+    return f"m_{metric.lower()}_r{row}"
+
+
+#: ``name = value`` lines in ngspice batch output / measure logs.
+_MEASURE_LINE = re.compile(
+    r"^\s*(m_[a-z0-9_]+_r\d+)\s*=\s*([^\s,;]+)", re.IGNORECASE | re.MULTILINE
+)
+
+
+def parse_measure_log(
+    text: str, rows: int, metric_names: Sequence[str]
+) -> Dict[str, np.ndarray]:
+    """Reassemble ``{metric: (B,) array}`` from a measure log.
+
+    Every ``(metric, row)`` cell starts as NaN; a parseable
+    ``m_<metric>_r<row> = <float>`` line fills it in, and anything else —
+    a missing measure, ngspice's literal ``failed``, garbage output — leaves
+    the NaN in place.  Callers therefore get a full-shape tensor no matter
+    how partially the simulator succeeded.
+    """
+    metrics = {name: np.full(int(rows), np.nan) for name in metric_names}
+    lookup = {
+        measure_name(name, row): (name, row)
+        for name in metric_names
+        for row in range(int(rows))
+    }
+    for match in _MEASURE_LINE.finditer(text):
+        target = lookup.get(match.group(1).lower())
+        if target is None:
+            continue
+        name, row = target
+        try:
+            metrics[name][row] = float(match.group(2))
+        except ValueError:
+            continue  # "failed" (or other junk) stays NaN
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Element lowering
+# ----------------------------------------------------------------------
+def _card_name(prefix: str, name: str) -> str:
+    """SPICE element names must begin with their type letter."""
+    if name[:1].upper() == prefix:
+        return name
+    return prefix + name
+
+
+class _ModelTable:
+    """Deduplicates ``.model`` cards across the netlist's MOSFETs."""
+
+    def __init__(self) -> None:
+        self._names: Dict[Tuple, str] = {}
+
+    def name_for(self, mosfet: Mosfet) -> str:
+        params = mosfet.model.parameters
+        key = (params.polarity, params.vth0, params.mu_cox, params.lambda_per_um)
+        name = self._names.get(key)
+        if name is None:
+            name = f"{params.polarity}_m{len(self._names) + 1}"
+            self._names[key] = name
+        return name
+
+    def cards(self) -> List[str]:
+        lines = []
+        for key, name in sorted(self._names.items(), key=lambda item: item[1]):
+            polarity, vth0, mu_cox, lambda_per_um = key
+            vto = -vth0 if polarity == "pmos" else vth0
+            lines.append(
+                f".model {name} {polarity} (level=1 vto={card_float(vto)} "
+                f"kp={card_float(mu_cox)} lambda={card_float(lambda_per_um)})"
+            )
+        return lines
+
+
+def _element_card(element: Element, models: _ModelTable) -> str:
+    if isinstance(element, Resistor):
+        return (
+            f"{_card_name('R', element.name)} {element.node_a} "
+            f"{element.node_b} {card_float(element.resistance)}"
+        )
+    if isinstance(element, Capacitor):
+        return (
+            f"{_card_name('C', element.name)} {element.node_a} "
+            f"{element.node_b} {card_float(element.capacitance)}"
+        )
+    if isinstance(element, VoltageSource):
+        return (
+            f"{_card_name('V', element.name)} {element.node_plus} "
+            f"{element.node_minus} DC {card_float(element.voltage)}"
+        )
+    if isinstance(element, CurrentSource):
+        return (
+            f"{_card_name('I', element.name)} {element.node_plus} "
+            f"{element.node_minus} DC {card_float(element.current)}"
+        )
+    if isinstance(element, VCCS):
+        return (
+            f"{_card_name('G', element.name)} {element.node_plus} "
+            f"{element.node_minus} {element.control_plus} "
+            f"{element.control_minus} {card_float(element.gm)}"
+        )
+    if isinstance(element, Mosfet):
+        model_name = models.name_for(element)
+        # Body tied to source, matching the MNA stamping convention.
+        return (
+            f"{_card_name('M', element.name)} {element.drain} {element.gate} "
+            f"{element.source} {element.source} {model_name} "
+            f"W={card_float(float(np.asarray(element.model.width)))} "
+            f"L={card_float(float(np.asarray(element.model.length)))}"
+        )
+    raise TypeError(f"cannot lower element {element!r} to an ngspice card")
+
+
+def netlist_cards(circuit: Circuit) -> List[str]:
+    """Lower a :class:`~repro.spice.netlist.Circuit` to ngspice cards.
+
+    Elements keep their netlist insertion order (deterministic — the
+    testbench builders are pure functions of the design vector); the
+    deduplicated ``.model`` cards follow, sorted by model name.
+    """
+    models = _ModelTable()
+    cards = [_element_card(element, models) for element in circuit.elements]
+    return cards + models.cards()
+
+
+# ----------------------------------------------------------------------
+# Deck compilation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Deck:
+    """One compiled deck: the text plus enough metadata to parse results."""
+
+    circuit_name: str
+    rows: int
+    metric_names: Tuple[str, ...]
+    text: str
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.text)
+
+
+def _payload_lines(job: "SimJob", metric_names: Sequence[str]) -> List[str]:
+    lines = [
+        f"{PAYLOAD_PREFIX}job circuit={job.circuit_name} axis={job.axis} "
+        f"phase={job.phase.value} rows={job.batch} format={FORMAT_VERSION}",
+        f"{PAYLOAD_PREFIX}metrics " + " ".join(metric_names),
+    ]
+    for index, design in enumerate(job.designs):
+        values = " ".join(payload_float(value) for value in design)
+        lines.append(f"{PAYLOAD_PREFIX}design {index} {values}")
+    for index, corner in enumerate(job.corners):
+        lines.append(
+            f"{PAYLOAD_PREFIX}corner {index} {corner.process.value} "
+            f"{payload_float(corner.vdd)} {payload_float(corner.temperature)}"
+        )
+    if job.mismatch is not None:
+        for index, row in enumerate(job.mismatch):
+            values = " ".join(payload_float(value) for value in row)
+            lines.append(f"{PAYLOAD_PREFIX}mismatch {index} {values}")
+    return lines
+
+
+def _row_param_cards(
+    parameter_names: Sequence[str],
+    x_physical: np.ndarray,
+    corner: PVTCorner,
+) -> List[str]:
+    params = {
+        f"p_{name.lower()}": float(value)
+        for name, value in zip(parameter_names, x_physical)
+    }
+    params["vdd_val"] = float(corner.vdd)
+    params["temp_val"] = float(corner.temperature)
+    params["proc_nvth"] = corner.process.nmos_vth_shift
+    params["proc_pvth"] = corner.process.pmos_vth_shift
+    params["proc_nmob"] = corner.process.nmos_mobility_scale
+    params["proc_pmob"] = corner.process.pmos_mobility_scale
+    return [
+        f".param {name}={card_float(value)}"
+        for name, value in sorted(params.items())
+    ]
+
+
+def compile_job_deck(job: "SimJob", circuit) -> Deck:
+    """Lower one :class:`SimJob` into an ngspice deck for ``circuit``.
+
+    ``circuit`` is the :class:`~repro.circuits.base.AnalogCircuit` the job
+    targets; its :meth:`build_testbench` supplies the structural netlist and
+    its :meth:`measure_specs` one measure card per metric per row.
+    """
+    if job.circuit_name != circuit.name:
+        raise ValueError(
+            f"job targets circuit {job.circuit_name!r} but the deck compiler "
+            f"was handed {circuit.name!r}"
+        )
+    from repro.simulation.service import DESIGN_AXIS
+
+    metric_names = tuple(circuit.metric_names)
+    specs = {spec.metric: spec for spec in circuit.measure_specs()}
+    missing = set(metric_names) - set(specs)
+    if missing:
+        raise ValueError(
+            f"circuit {circuit.name!r} declares no measure spec for: "
+            f"{sorted(missing)}"
+        )
+
+    row_corners = job.row_corners
+    designs = job.designs
+    base_physical = circuit.denormalize(np.asarray(designs[0], dtype=float))
+    testbench = circuit.build_testbench(base_physical, row_corners[0])
+    testbench.validate()
+
+    lines = [
+        f"* repro ngspice deck (format {FORMAT_VERSION})",
+        f"* circuit: {job.circuit_name} | axis: {job.axis} | rows: {job.batch}",
+        f".title {job.circuit_name}",
+        "* ---- job payload (machine-readable, full precision) ----",
+    ]
+    lines += _payload_lines(job, metric_names)
+    lines.append("* ---- testbench netlist (row 0 geometry) ----")
+    lines += netlist_cards(testbench)
+
+    needs_tran = any(
+        specs[name].analysis == "tran" for name in metric_names
+    )
+    for row in range(job.batch):
+        if job.axis == DESIGN_AXIS:
+            x_physical = circuit.denormalize(np.asarray(designs[row], dtype=float))
+        else:
+            x_physical = base_physical
+        corner = row_corners[row]
+        lines.append(f"* ---- row {row} ----")
+        lines += _row_param_cards(circuit.parameter_names, x_physical, corner)
+        lines.append(f".temp {card_float(corner.temperature)}")
+        lines.append(".op")
+        if needs_tran:
+            lines.append(f".tran {card_float(TRAN_STEP)} {card_float(TRAN_STOP)}")
+        for name in metric_names:
+            lines.append(specs[name].card(row))
+    lines.append(".end")
+    return Deck(
+        circuit_name=job.circuit_name,
+        rows=job.batch,
+        metric_names=metric_names,
+        text="\n".join(lines) + "\n",
+    )
+
+
+# ----------------------------------------------------------------------
+# Deck → SimJob (payload round trip)
+# ----------------------------------------------------------------------
+class DeckParseError(ValueError):
+    """Raised when a deck's machine payload is absent or malformed."""
+
+
+def parse_deck_job(text: str) -> "SimJob":
+    """Rebuild the :class:`SimJob` a deck was compiled from.
+
+    Reads only the ``*:`` payload cards, so any surrounding netlist edits
+    (or none at all) are irrelevant; the reconstructed job is *equal* to the
+    original — same content hash, same phase — because the payload stores
+    every float at full precision.
+    """
+    from repro.simulation.budget import SimulationPhase
+    from repro.simulation.service import SimJob
+
+    meta: Dict[str, str] = {}
+    designs: Dict[int, List[float]] = {}
+    corners: Dict[int, PVTCorner] = {}
+    mismatch: Dict[int, List[float]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line.startswith(PAYLOAD_PREFIX):
+            continue
+        body = line[len(PAYLOAD_PREFIX):].strip()
+        kind, _, rest = body.partition(" ")
+        if kind == "job":
+            for pair in rest.split():
+                key, _, value = pair.partition("=")
+                meta[key] = value
+        elif kind == "design":
+            index, _, values = rest.partition(" ")
+            designs[int(index)] = [float(v) for v in values.split()]
+        elif kind == "corner":
+            index, _, values = rest.partition(" ")
+            process, vdd, temperature = values.split()
+            corners[int(index)] = PVTCorner(
+                ProcessCorner(process), float(vdd), float(temperature)
+            )
+        elif kind == "mismatch":
+            index, _, values = rest.partition(" ")
+            mismatch[int(index)] = [float(v) for v in values.split()]
+    if not meta or not designs or not corners:
+        raise DeckParseError("deck carries no (complete) repro job payload")
+    declared = int(meta.get("format", "-1"))
+    if declared != FORMAT_VERSION:
+        raise DeckParseError(
+            f"deck payload format {declared} unsupported "
+            f"(this parser reads format {FORMAT_VERSION})"
+        )
+    design_block = np.array(
+        [designs[index] for index in sorted(designs)], dtype=float
+    )
+    corner_block = tuple(corners[index] for index in sorted(corners))
+    mismatch_block: Optional[np.ndarray] = None
+    if mismatch:
+        mismatch_block = np.array(
+            [mismatch[index] for index in sorted(mismatch)], dtype=float
+        )
+    return SimJob(
+        circuit_name=meta["circuit"],
+        designs=design_block,
+        corners=corner_block,
+        mismatch=mismatch_block,
+        phase=SimulationPhase(meta.get("phase", "optimization")),
+        axis=meta.get("axis", "conditions"),
+    )

@@ -1,18 +1,66 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Consolidates the circuit/service setup that used to be duplicated across
+``test_service_api.py``, ``test_loop_batching.py`` and
+``test_verification_chunked.py``:
+
+* ``paper_circuit`` — parametrized over the three paper testbenches, so a
+  test taking this fixture runs once per circuit;
+* ``service_factory`` / ``simulator_factory`` — build a
+  :class:`SimulationService` / :class:`CircuitSimulator` for any circuit;
+* ``mismatch_sampler`` / ``seeded_mismatch`` — deterministic mismatch
+  sampling helpers;
+* ``seeded_rng`` — a generator factory (``seeded_rng(seed)``);
+* ``small_budget`` — a capped :class:`SimulationBudget`;
+* ``fake_ngspice`` — installs the hermetic fake simulator
+  (``tests/fake_ngspice.py``) as an executable and points
+  ``$REPRO_NGSPICE`` at it, so ``NgspiceBackend`` runs end-to-end with no
+  ngspice installed.
+
+Tests marked ``requires_ngspice`` are auto-skipped when no real ngspice
+binary is on PATH, keeping tier-1 hermetic.
+"""
 
 from __future__ import annotations
+
+import os
+import shutil
+import sys
 
 import numpy as np
 import pytest
 
 from repro.circuits import DramCoreSenseAmp, FloatingInverterAmplifier, StrongArmLatch
 from repro.core.spec import DesignSpec
+from repro.simulation import CircuitSimulator, SimulationBudget, SimulationService
+from repro.simulation.ngspice import EXECUTABLE_ENV
 from repro.variation.corners import typical_corner
+from repro.variation.mismatch import MismatchSampler
+
+#: The three paper testbenches (kept importable for explicit parametrize).
+ALL_CIRCUIT_CLASSES = (StrongArmLatch, FloatingInverterAmplifier, DramCoreSenseAmp)
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+SRC_DIR = os.path.join(os.path.dirname(TESTS_DIR), "src")
 
 
-@pytest.fixture
-def rng():
-    return np.random.default_rng(1234)
+def pytest_collection_modifyitems(config, items):
+    """Auto-skip ``requires_ngspice`` tests when the binary is absent."""
+    if shutil.which("ngspice"):
+        return
+    skip = pytest.mark.skip(reason="ngspice binary not on PATH")
+    for item in items:
+        if "requires_ngspice" in item.keywords:
+            item.add_marker(skip)
+
+
+# ----------------------------------------------------------------------
+# Circuits
+# ----------------------------------------------------------------------
+@pytest.fixture(params=ALL_CIRCUIT_CLASSES, ids=lambda cls: cls.name)
+def paper_circuit(request):
+    """One fresh instance of each paper testbench (parametrized)."""
+    return request.param()
 
 
 @pytest.fixture
@@ -38,6 +86,109 @@ def strongarm_spec(strongarm):
 @pytest.fixture
 def typical():
     return typical_corner()
+
+
+# ----------------------------------------------------------------------
+# RNG / sampling
+# ----------------------------------------------------------------------
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def seeded_rng():
+    """Factory: ``seeded_rng(seed)`` -> a fresh deterministic Generator."""
+
+    def make(seed: int = 1234) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return make
+
+
+@pytest.fixture
+def mismatch_sampler():
+    """Factory for a deterministic global+local :class:`MismatchSampler`."""
+
+    def make(circuit, seed=21, include_global=True, include_local=True):
+        return MismatchSampler(
+            circuit.mismatch_model,
+            include_global=include_global,
+            include_local=include_local,
+            rng=np.random.default_rng(seed),
+        )
+
+    return make
+
+
+@pytest.fixture
+def seeded_mismatch(mismatch_sampler):
+    """Factory: a seeded :class:`MismatchSet` for a normalised design."""
+
+    def make(circuit, x, count, seed=5):
+        sampler = mismatch_sampler(circuit, seed=seed)
+        return sampler.sample(circuit.denormalize(x), count)
+
+    return make
+
+
+# ----------------------------------------------------------------------
+# Service / simulator construction
+# ----------------------------------------------------------------------
+@pytest.fixture
+def service_factory():
+    """Factory: ``service_factory(circuit, **kwargs)`` -> SimulationService."""
+
+    def make(circuit, **kwargs) -> SimulationService:
+        return SimulationService(circuit, **kwargs)
+
+    return make
+
+
+@pytest.fixture
+def simulator_factory():
+    """Factory: ``simulator_factory(circuit, **kwargs)`` -> CircuitSimulator."""
+
+    def make(circuit, **kwargs) -> CircuitSimulator:
+        return CircuitSimulator(circuit, **kwargs)
+
+    return make
+
+
+@pytest.fixture
+def small_budget():
+    """A tightly capped budget for cap/abort behaviour tests."""
+    return SimulationBudget(max_simulations=64)
+
+
+# ----------------------------------------------------------------------
+# External-simulator harness
+# ----------------------------------------------------------------------
+@pytest.fixture
+def fake_ngspice(tmp_path, monkeypatch):
+    """Install the hermetic fake simulator and select it via the env.
+
+    Writes an executable launcher that runs ``tests/fake_ngspice.py`` with
+    the repo's ``src`` on ``sys.path`` (the fake evaluates decks with the
+    analytic engine), points ``$REPRO_NGSPICE`` at it and returns the
+    launcher path.  Every ``NgspiceBackend()`` built afterwards — including
+    ones rebuilt by name inside *newly forked* worker processes — shells
+    out to the fake.
+    """
+    launcher = tmp_path / "fake-ngspice"
+    launcher.write_text(
+        f"#!{sys.executable}\n"
+        "import sys\n"
+        f"sys.path.insert(0, {TESTS_DIR!r})\n"
+        f"sys.path.insert(0, {SRC_DIR!r})\n"
+        "from fake_ngspice import main\n"
+        "raise SystemExit(main())\n"
+    )
+    launcher.chmod(0o755)
+    monkeypatch.setenv(EXECUTABLE_ENV, str(launcher))
+    monkeypatch.delenv("FAKE_NGSPICE_MODE", raising=False)
+    monkeypatch.delenv("FAKE_NGSPICE_FAIL_ONCE", raising=False)
+    return str(launcher)
 
 
 @pytest.fixture

@@ -14,31 +14,21 @@ import numpy as np
 import pytest
 
 from repro.baselines import RobustAnalogOptimizer
-from repro.circuits import DramCoreSenseAmp, FloatingInverterAmplifier, StrongArmLatch
+from repro.circuits import StrongArmLatch
 from repro.core.config import GlovaConfig, VerificationMethod
 from repro.core.optimizer import GlovaOptimizer
 from repro.core.turbo import TurboSampler
 from repro.simulation import CircuitSimulator, SimulationPhase
 from repro.variation.corners import ProcessCorner, PVTCorner, full_corner_set, typical_corner
-from repro.variation.mismatch import MismatchSampler
 
-ALL_CIRCUITS = [StrongArmLatch, FloatingInverterAmplifier, DramCoreSenseAmp]
+# The paper-circuit parametrization (paper_circuit) and the deterministic
+# mismatch_sampler factory are shared conftest.py fixtures.
 TOLERANCE = 1e-9
 
 
-def seeded_sampler(circuit, seed=21):
-    return MismatchSampler(
-        circuit.mismatch_model,
-        include_global=True,
-        include_local=True,
-        rng=np.random.default_rng(seed),
-    )
-
-
-@pytest.mark.parametrize("circuit_cls", ALL_CIRCUITS)
 class TestDesignAxisBatching:
-    def test_evaluate_design_batch_matches_scalar(self, circuit_cls):
-        circuit = circuit_cls()
+    def test_evaluate_design_batch_matches_scalar(self, paper_circuit):
+        circuit = paper_circuit
         rng = np.random.default_rng(3)
         designs = rng.uniform(0.1, 0.9, size=(7, circuit.dimension))
         corner = PVTCorner(ProcessCorner.SF, 0.8, -40.0)
@@ -50,17 +40,19 @@ class TestDesignAxisBatching:
                     scalar[name], abs=TOLERANCE
                 )
 
-    def test_denormalize_batch_matches_scalar(self, circuit_cls):
-        circuit = circuit_cls()
+    def test_denormalize_batch_matches_scalar(self, paper_circuit):
+        circuit = paper_circuit
         rng = np.random.default_rng(4)
         designs = rng.uniform(0.0, 1.0, size=(5, circuit.dimension))
         batch = circuit.denormalize_batch(designs)
         for index in range(len(designs)):
             assert np.array_equal(batch[index], circuit.denormalize(designs[index]))
 
-    def test_simulate_designs_records_and_budget(self, circuit_cls):
-        circuit = circuit_cls()
-        simulator = CircuitSimulator(circuit)
+    def test_simulate_designs_records_and_budget(
+        self, paper_circuit, simulator_factory
+    ):
+        circuit = paper_circuit
+        simulator = simulator_factory(circuit)
         rng = np.random.default_rng(5)
         designs = rng.uniform(0.2, 0.8, size=(6, circuit.dimension))
         records = simulator.simulate_designs(designs)
@@ -74,11 +66,11 @@ class TestDesignAxisBatching:
 
 
 class TestCornerSweepMegaBatch:
-    def test_matches_per_corner_mismatch_sets(self, strongarm):
+    def test_matches_per_corner_mismatch_sets(self, strongarm, mismatch_sampler):
         x = np.full(strongarm.dimension, 0.55)
         corners = list(full_corner_set())
         sets = [
-            seeded_sampler(strongarm).sample(strongarm.denormalize(x), 3)
+            mismatch_sampler(strongarm).sample(strongarm.denormalize(x), 3)
             for _ in corners
         ]
 
@@ -214,13 +206,15 @@ class TestRobustAnalogBatchedSampling:
 
 
 class TestWorkerSharding:
-    def test_sharded_mismatch_sweep_identical(self, strongarm):
+    def test_sharded_mismatch_sweep_identical(
+        self, strongarm, mismatch_sampler, simulator_factory
+    ):
         x = np.full(strongarm.dimension, 0.5)
-        mismatch_set = seeded_sampler(strongarm).sample(
+        mismatch_set = mismatch_sampler(strongarm).sample(
             strongarm.denormalize(x), 8
         )
-        single = CircuitSimulator(strongarm, workers=1)
-        sharded = CircuitSimulator(strongarm, workers=2)
+        single = simulator_factory(strongarm, workers=1)
+        sharded = simulator_factory(strongarm, workers=2)
         reference = single.simulate_mismatch_set(x, typical_corner(), mismatch_set)
         records = sharded.simulate_mismatch_set(x, typical_corner(), mismatch_set)
         assert sharded.budget.total == 8
@@ -228,17 +222,19 @@ class TestWorkerSharding:
             for name in strongarm.metric_names:
                 assert fast.metrics[name] == slow.metrics[name]
 
-    def test_sharded_corner_sweep_identical(self, fia):
+    def test_sharded_corner_sweep_identical(
+        self, fia, mismatch_sampler, simulator_factory
+    ):
         x = np.full(fia.dimension, 0.5)
         corners = list(full_corner_set())
         sets = [
-            seeded_sampler(fia, seed=33).sample(fia.denormalize(x), 2)
+            mismatch_sampler(fia, seed=33).sample(fia.denormalize(x), 2)
             for _ in corners
         ]
-        single = CircuitSimulator(fia, workers=1).simulate_corner_sweep(
+        single = simulator_factory(fia, workers=1).simulate_corner_sweep(
             x, corners, sets
         )
-        sharded = CircuitSimulator(fia, workers=2).simulate_corner_sweep(
+        sharded = simulator_factory(fia, workers=2).simulate_corner_sweep(
             x, corners, sets
         )
         for group_single, group_sharded in zip(single, sharded):
@@ -246,11 +242,13 @@ class TestWorkerSharding:
                 for name in fia.metric_names:
                     assert fast.metrics[name] == slow.metrics[name]
 
-    def test_small_batches_stay_in_process(self, strongarm):
+    def test_small_batches_stay_in_process(
+        self, strongarm, mismatch_sampler, simulator_factory
+    ):
         # Below MIN_ROWS_PER_WORKER * workers the sharded path is bypassed;
         # results are identical either way.
         x = np.full(strongarm.dimension, 0.5)
-        mismatch_set = seeded_sampler(strongarm).sample(strongarm.denormalize(x), 2)
-        sharded = CircuitSimulator(strongarm, workers=4)
+        mismatch_set = mismatch_sampler(strongarm).sample(strongarm.denormalize(x), 2)
+        sharded = simulator_factory(strongarm, workers=4)
         records = sharded.simulate_mismatch_set(x, typical_corner(), mismatch_set)
         assert len(records) == 2

@@ -45,20 +45,11 @@ from repro.variation.corners import (
     full_corner_set,
     typical_corner,
 )
-from repro.variation.mismatch import MismatchSampler
 
-ALL_CIRCUITS = [StrongArmLatch, FloatingInverterAmplifier, DramCoreSenseAmp]
+# Circuit fixtures (paper_circuit, strongarm, ...) and the seeded_mismatch /
+# service_factory helpers live in conftest.py, shared with the loop-batching
+# and verification suites.
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-
-
-def seeded_mismatch(circuit, x, count, seed=5):
-    sampler = MismatchSampler(
-        circuit.mismatch_model,
-        include_global=True,
-        include_local=True,
-        rng=np.random.default_rng(seed),
-    )
-    return sampler.sample(circuit.denormalize(x), count)
 
 
 # ----------------------------------------------------------------------
@@ -276,7 +267,7 @@ class TestBudgetIdempotentCharge:
 
 
 class TestCachingBackend:
-    def test_hit_charges_zero_budget(self, strongarm):
+    def test_hit_charges_zero_budget(self, strongarm, seeded_mismatch):
         service = SimulationService(strongarm, cache=True)
         x = np.full(strongarm.dimension, 0.4)
         mismatch = seeded_mismatch(strongarm, x, 6)
@@ -335,7 +326,6 @@ class TestCachingBackend:
 # ----------------------------------------------------------------------
 # Backend equivalence + sharding
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("circuit_cls", ALL_CIRCUITS)
 class TestScalarVsBatchedBackend:
     def simulators(self, circuit):
         return (
@@ -343,8 +333,8 @@ class TestScalarVsBatchedBackend:
             CircuitSimulator(circuit, backend="scalar"),
         )
 
-    def test_mismatch_set_equivalent(self, circuit_cls):
-        circuit = circuit_cls()
+    def test_mismatch_set_equivalent(self, paper_circuit, seeded_mismatch):
+        circuit = paper_circuit
         batched, scalar = self.simulators(circuit)
         x = np.full(circuit.dimension, 0.55)
         mismatch = seeded_mismatch(circuit, x, 8)
@@ -357,8 +347,8 @@ class TestScalarVsBatchedBackend:
                     two.metrics[name], rel=0, abs=1e-12
                 )
 
-    def test_corner_sweep_equivalent(self, circuit_cls):
-        circuit = circuit_cls()
+    def test_corner_sweep_equivalent(self, paper_circuit):
+        circuit = paper_circuit
         batched, scalar = self.simulators(circuit)
         x = np.full(circuit.dimension, 0.45)
         corners = full_corner_set()
@@ -371,8 +361,8 @@ class TestScalarVsBatchedBackend:
                     two.metrics[name], rel=0, abs=1e-12
                 )
 
-    def test_design_batch_equivalent(self, circuit_cls):
-        circuit = circuit_cls()
+    def test_design_batch_equivalent(self, paper_circuit):
+        circuit = paper_circuit
         batched, scalar = self.simulators(circuit)
         designs = np.random.default_rng(11).uniform(
             0.2, 0.8, size=(5, circuit.dimension)

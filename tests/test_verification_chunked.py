@@ -12,7 +12,7 @@ failure inside the aborting chunk).
 import numpy as np
 import pytest
 
-from repro.circuits import DramCoreSenseAmp, FloatingInverterAmplifier, StrongArmLatch
+from repro.circuits import StrongArmLatch
 from repro.circuits.base import AnalogCircuit, SizingParameter
 from repro.core.config import VerificationMethod, operational_config
 from repro.core.replay import LastWorstCaseBuffer
@@ -21,7 +21,8 @@ from repro.core.verification import Verifier
 from repro.simulation import CircuitSimulator
 from repro.variation.distributions import DeviceKind, DeviceSpec
 
-ALL_CIRCUITS = [StrongArmLatch, FloatingInverterAmplifier, DramCoreSenseAmp]
+# The three-paper-circuit parametrization comes from the shared conftest
+# fixture ``paper_circuit``.
 
 
 class MismatchProbeCircuit(AnalogCircuit):
@@ -95,9 +96,9 @@ def seeded_designs(circuit_cls, count=4):
     return designs
 
 
-@pytest.mark.parametrize("circuit_cls", ALL_CIRCUITS)
 @pytest.mark.parametrize("chunk", [3, 8])
-def test_chunked_matches_sequential_outcome(circuit_cls, chunk):
+def test_chunked_matches_sequential_outcome(paper_circuit, chunk):
+    circuit_cls = type(paper_circuit)
     for index, design in enumerate(seeded_designs(circuit_cls)):
         sequential = verify_with_chunk(circuit_cls, design, chunk=1, seed=index)
         chunked = verify_with_chunk(circuit_cls, design, chunk=chunk, seed=index)
