@@ -434,10 +434,11 @@ class AnalogCircuit(abc.ABC):
 
         The deck compiler (:mod:`repro.spice.deck`) emits one ``.measure``
         card per metric per batch row from these declarations.  The default
-        is a placeholder ``param`` measure for every metric — enough for
-        measure-log-producing runners (the analytic fake simulator supplies
-        the real values) — and the paper circuits override with expressions
-        tied to their testbench nodes and deck parameters.
+        is a placeholder for every metric — no ``.meas`` card, so a real
+        engine reports NaN rather than a fabricated value, while
+        payload-aware runners (the analytic fake simulator) supply the real
+        numbers — and the paper circuits override with expressions tied to
+        their testbench nodes and deck parameters.
         """
         return tuple(MeasureSpec(metric) for metric in self.metric_names)
 

@@ -13,15 +13,32 @@ behind the service boundary:
   call time so worker processes resolve it too), then plain ``ngspice`` —
   which is exactly what lets the test suite inject a hermetic fake
   simulator without any ngspice installed.
-* :class:`NgspiceBackend` — compiles the job, runs the deck, and
+* :class:`NgspiceBackend` — compiles the job, runs the deck(s), and
   reassembles the ``(B, metrics)`` tensor from the measure log
   (:func:`repro.spice.deck.parse_measure_log`).  Failure handling is
-  deliberately graceful by default: a timeout, a nonzero exit or a missing
-  executable degrades to an all-NaN block (with a warning) and failed /
-  partial measures become NaN cells — the reward pipeline already treats
-  NaN metrics as constraint violations, so a flaky simulator slows the
-  search instead of crashing it.  Set ``strict=True`` (or
-  :data:`STRICT_ENV`) to raise :class:`NgspiceError` instead, e.g. in CI.
+  deliberately graceful by default: a timeout or a nonzero exit degrades
+  to a NaN block (with a warning) and failed / partial measures become NaN
+  cells — the reward pipeline already treats NaN metrics as constraint
+  violations, so a flaky simulator slows the search instead of crashing
+  it.  Set ``strict=True`` (or :data:`STRICT_ENV`) to raise
+  :class:`NgspiceError` instead, e.g. in CI.  Deployment errors — a
+  missing executable, or a circuit whose measures could never be reported
+  by the engine — always raise, strict or not.
+
+Batched jobs and real engines
+-----------------------------
+Multi-row decks carry their batch in the machine payload plus per-row
+``.param`` sections, which only *payload-aware* runners (the hermetic fake
+simulator, a future ``.alter``-capable dialect) evaluate row by row.  A
+real ngspice binary instead resolves the repeated ``.param`` sections
+last-wins and evaluates every ``.measure`` in that single final
+environment — i.e. it would silently report wrong numbers for every row
+but the last.  The backend therefore runs **one single-row deck per batch
+row** by default (each row is plain valid ngspice; a failed row degrades
+to a NaN row without discarding its siblings).  Pass
+``payload_aware=True`` (or set :data:`PAYLOAD_AWARE_ENV`) only when the
+executable genuinely understands multi-row decks — the test suite does,
+so batched fake runs stay one subprocess per job.
 
 Registered in :data:`~repro.simulation.service.BACKENDS` as ``"ngspice"``,
 so ``ExperimentConfig(backend="ngspice")`` / ``--backend ngspice`` select it
@@ -44,7 +61,12 @@ import numpy as np
 
 from repro.circuits.base import AnalogCircuit
 from repro.simulation.service import BACKENDS, SimJob, SimulationBackend
-from repro.spice.deck import Deck, compile_job_deck, parse_measure_log
+from repro.spice.deck import (
+    FAILURE_NAN,
+    Deck,
+    compile_job_deck,
+    parse_measure_log,
+)
 
 #: Environment variable naming the simulator executable (tests point this at
 #: the fake simulator; production deployments at a pinned ngspice build).
@@ -52,6 +74,14 @@ EXECUTABLE_ENV = "REPRO_NGSPICE"
 
 #: Environment variable turning simulator failures into raised errors.
 STRICT_ENV = "REPRO_NGSPICE_STRICT"
+
+#: Environment variable declaring the executable payload-aware: it
+#: evaluates multi-row decks row by row from the machine payload (the fake
+#: simulator does; a real ngspice binary does NOT — see the module
+#: docstring).  Read at backend *construction* time; sharded workers agree
+#: because they rebuild the backend (re-running ``__init__``) in their own
+#: process.
+PAYLOAD_AWARE_ENV = "REPRO_NGSPICE_PAYLOAD_AWARE"
 
 #: Fallback executable name resolved through PATH.
 DEFAULT_EXECUTABLE = "ngspice"
@@ -173,8 +203,8 @@ def _decode(raw) -> str:
     return str(raw)
 
 
-def _strict_default() -> bool:
-    return os.environ.get(STRICT_ENV, "").strip().lower() in ("1", "true", "yes")
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes")
 
 
 class NgspiceBackend(SimulationBackend):
@@ -189,6 +219,13 @@ class NgspiceBackend(SimulationBackend):
     strict:
         Raise :class:`NgspiceError` on simulator failure instead of
         degrading to NaN metrics; defaults to ``$REPRO_NGSPICE_STRICT``.
+    payload_aware:
+        The executable evaluates multi-row decks row by row from the
+        machine payload (the fake simulator does).  When ``False`` — the
+        default, and the only correct setting for a real ngspice binary,
+        which resolves repeated per-row ``.param`` sections last-wins —
+        batched jobs are run as one single-row deck per row.  Defaults to
+        ``$REPRO_NGSPICE_PAYLOAD_AWARE``.
     """
 
     name = "ngspice"
@@ -198,18 +235,43 @@ class NgspiceBackend(SimulationBackend):
         executable: Optional[str] = None,
         timeout: float = DEFAULT_TIMEOUT,
         strict: Optional[bool] = None,
+        payload_aware: Optional[bool] = None,
     ):
         self.runner = NgspiceRunner(executable=executable, timeout=timeout)
-        self.strict = _strict_default() if strict is None else bool(strict)
+        self.strict = _env_flag(STRICT_ENV) if strict is None else bool(strict)
+        self.payload_aware = (
+            _env_flag(PAYLOAD_AWARE_ENV)
+            if payload_aware is None
+            else bool(payload_aware)
+        )
 
     def compile(self, circuit: AnalogCircuit, job: SimJob) -> Deck:
         """The deck this backend would run for ``job`` (exposed for tests,
-        golden files and debugging)."""
+        golden files and debugging).  Note that a non-payload-aware engine
+        never sees this multi-row deck whole: :meth:`evaluate` hands it one
+        single-row deck per batch row instead."""
         return compile_job_deck(job, circuit)
 
     def evaluate(
         self, circuit: AnalogCircuit, job: SimJob
     ) -> Dict[str, np.ndarray]:
+        if not self.payload_aware:
+            # Deployment error, not a simulation error: a circuit with only
+            # placeholder measure specs emits no .meas card at all, so a
+            # real engine could never report a metric — every run would
+            # degrade to the all-NaN failure block (uncached, refunded)
+            # and a budget-capped loop would spin forever.
+            specs = circuit.measure_specs()
+            if specs and all(spec.is_placeholder for spec in specs):
+                raise NgspiceError(
+                    f"circuit {circuit.name!r} declares only placeholder "
+                    f"measures; a real (non-payload-aware) engine can never "
+                    f"report a metric for it — override measure_specs() "
+                    f"with real .measure expressions or run a payload-aware "
+                    f"executable (${PAYLOAD_AWARE_ENV}=1)"
+                )
+        if job.batch > 1 and not self.payload_aware:
+            return self._evaluate_per_row(circuit, job)
         deck = self.compile(circuit, job)
         run = self.runner.run_deck(deck.text, tag=circuit.name)
         if not run.ok:
@@ -222,14 +284,59 @@ class NgspiceBackend(SimulationBackend):
                 RuntimeWarning,
                 stacklevel=2,
             )
+            # FAILURE_NAN, not plain NaN: the engine never ran, so the
+            # service refunds the charge and the cache refuses the block.
             return {
-                name: np.full(job.batch, np.nan) for name in circuit.metric_names
+                name: np.full(job.batch, FAILURE_NAN)
+                for name in circuit.metric_names
             }
         # Measures land in the -o log; ngspice also echoes them on stdout,
         # so parse both (the fake writes only the log).
         return parse_measure_log(
             run.log_text + "\n" + run.stdout, job.batch, circuit.metric_names
         )
+
+    def _evaluate_per_row(
+        self, circuit: AnalogCircuit, job: SimJob
+    ) -> Dict[str, np.ndarray]:
+        """One single-row deck per batch row, for engines that only speak
+        plain ngspice.  Failed rows degrade to NaN rows (or raise in strict
+        mode) without discarding their siblings."""
+        # Rows whose subprocess fails keep their FAILURE_NAN initializer:
+        # the engine never produced them, so they are uncacheable.
+        metrics = {
+            name: np.full(job.batch, FAILURE_NAN)
+            for name in circuit.metric_names
+        }
+        failures = []
+        for row in range(job.batch):
+            row_job = job.shard(row, row + 1)
+            deck = compile_job_deck(row_job, circuit)
+            run = self.runner.run_deck(deck.text, tag=f"{circuit.name}_r{row}")
+            if not run.ok:
+                if self.strict:
+                    raise NgspiceError(
+                        f"ngspice run failed for row {row} of "
+                        f"{job.batch} ({run.describe_failure()})"
+                    )
+                failures.append((row, run.describe_failure()))
+                continue
+            row_metrics = parse_measure_log(
+                run.log_text + "\n" + run.stdout, 1, circuit.metric_names
+            )
+            for name in circuit.metric_names:
+                metrics[name][row] = row_metrics[name][0]
+        if failures:
+            detail = "; ".join(
+                f"row {row}: {reason}" for row, reason in failures[:3]
+            )
+            warnings.warn(
+                f"{len(failures)}/{job.batch} ngspice row runs failed "
+                f"({detail}); reporting NaN metrics for those rows",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return metrics
 
 
 BACKENDS[NgspiceBackend.name] = NgspiceBackend

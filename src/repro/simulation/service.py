@@ -87,6 +87,38 @@ CONDITION_AXIS = "conditions"  # one design × B (corner, mismatch) rows
 DESIGN_AXIS = "designs"  # M designs × one corner at nominal mismatch
 
 
+def failed_row_mask(metrics: Dict[str, np.ndarray]) -> np.ndarray:
+    """``(B,)`` mask of rows the engine never produced.
+
+    Failure is marked explicitly by the backend with
+    :data:`repro.spice.deck.FAILURE_NAN` — a payload-tagged NaN written
+    only for cells the engine never evaluated (subprocess crash/timeout,
+    cell absent from the measure log).  A row is failed when *every* metric
+    carries the tag.  Plain NaN — a measure the engine *reported* as
+    failed, or an analytic backend's unconverged row — is a genuine result
+    and is never mistaken for infrastructure failure, so legitimately
+    all-NaN results stay charged and cacheable."""
+    from repro.spice.deck import failure_nan_mask
+
+    blocks = [np.asarray(block) for block in metrics.values()]
+    if not blocks:
+        return np.zeros(0, dtype=bool)
+    return np.logical_and.reduce([failure_nan_mask(block) for block in blocks])
+
+
+def is_failure_block(metrics: Dict[str, np.ndarray]) -> bool:
+    """Whether a metrics block is the degradation signature of a whole-job
+    infrastructure failure: every cell of every metric tagged
+    :data:`~repro.spice.deck.FAILURE_NAN`.  The service refunds the budget
+    charge for such blocks, mirroring the raise path — a job the engine
+    never evaluated is never counted.  The cache is stricter still: it
+    refuses any block containing a failed *row* (:func:`failed_row_mask`),
+    so a transient per-row flake is re-simulated rather than memoized
+    forever."""
+    mask = failed_row_mask(metrics)
+    return mask.size > 0 and bool(mask.all())
+
+
 def _readonly(array: Optional[np.ndarray]) -> Optional[np.ndarray]:
     if array is None:
         return None
@@ -487,13 +519,12 @@ class CachingBackend(SimulationBackend):
         return {name: values.copy() for name, values in stored.items()}
 
     def store(self, job: SimJob, metrics: Dict[str, np.ndarray]) -> None:
-        # An all-NaN block is the NaN-degradation signature of an
-        # infrastructure failure (simulator timeout / crash), not a result;
-        # caching it would turn a transient flake into a permanent wrong
-        # answer for this job.  Partially-NaN blocks (individual failed
-        # measures) are still results and stay cacheable.
-        blocks = list(metrics.values())
-        if blocks and all(np.isnan(block).all() for block in blocks):
+        # Caching a block with any FAILURE_NAN-tagged row would turn a
+        # transient per-row flake (subprocess timeout, row omitted from the
+        # measure log) into a permanent wrong answer for this job; rows
+        # with reported-failed measures (plain NaN) are still results and
+        # stay cacheable.
+        if failed_row_mask(metrics).any():
             return
         self._cache[job.job_id] = {
             name: values.copy() for name, values in metrics.items()
@@ -646,7 +677,12 @@ class SimulationService:
         a worker raising mid-shard, an external simulator crashing in strict
         mode — the charge is refunded and the idempotency key released
         before the exception propagates: a job that produced no metrics is
-        never counted, and its retry charges (once) like a first attempt."""
+        never counted, and its retry charges (once) like a first attempt.
+        The same holds for *non-raising* failures: a backend degrading to
+        the all-NaN failure signature (:func:`is_failure_block`, e.g. a
+        non-strict ngspice timeout) is refunded too, mirroring the cache's
+        refusal to store such blocks — strict and graceful failure modes
+        account identically."""
         if job.circuit_name != self._circuit.name:
             raise ValueError(
                 f"job targets circuit {job.circuit_name!r} but this service "
@@ -674,6 +710,8 @@ class SimulationService:
             if counted:
                 self._budget.refund(job.phase, job.cost, job_id=job_id)
             raise
+        if counted and is_failure_block(result.metrics):
+            self._budget.refund(job.phase, job.cost, job_id=job_id)
         if self._cache is not None:
             self._cache.store(job, result.metrics)
         return result

@@ -22,9 +22,12 @@ ngspice-dialect netlist that carries
   measure names never collide.
 
 Single-row decks are plain valid ngspice and can be batch-run directly
-(``ngspice -b -o run.log deck.cir``); multi-row decks are consumed by
-measure-log-producing runners (the fake simulator, or a future
-``.alter``-capable dialect) that understand the row sections natively.
+(``ngspice -b -o run.log deck.cir``); multi-row decks are consumed only by
+*payload-aware* runners (the fake simulator, or a future ``.alter``-capable
+dialect) that understand the row sections natively — a real ngspice binary
+resolves the repeated per-row ``.param`` sections last-wins, which is why
+:class:`repro.simulation.ngspice.NgspiceBackend` runs one single-row deck
+per batch row unless told the engine is payload-aware.
 
 Serialization is **normalized** — sorted params, fixed float formats
 (:data:`PAYLOAD_FLOAT` for the payload, :data:`CARD_FLOAT` for cards) — so
@@ -62,7 +65,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.simulation.service import SimJob
 
 #: Deck layout version, stamped into (and checked from) the payload.
-FORMAT_VERSION = 1
+#: Version 2 added the required corners=/mismatch= block-length counts to
+#: the job line (so truncated payloads fail loudly instead of reparsing as
+#: smaller/broadcast jobs); version-1 decks are rejected at the format gate.
+FORMAT_VERSION = 2
 
 #: Payload float format: 17 significant digits round-trip any IEEE double,
 #: so ``parse_deck_job(compile_job_deck(job, c).text) == job`` holds exactly.
@@ -99,12 +105,18 @@ class MeasureSpec:
     metric:
         Metric name; must match a key of the circuit's constraints.
     analysis:
-        Analysis the measure binds to (``"tran"`` or ``"op"``).
+        Analysis keyword emitted verbatim into the ``.meas`` card; must be
+        one ngspice accepts there (``"tran"``, ``"dc"``, ``"ac"`` — note
+        ``.meas op`` is *not* valid ngspice; static operating-point
+        quantities are measured as ``param='...'`` expressions or
+        ``find ... at=`` clauses on the tran grid instead).
     expression:
         The measure-card body after the measure name (trig/targ spec, an
         ``avg``/``find`` clause, or a ``param='...'`` expression over the
-        deck's ``.param`` cards).  Empty means a placeholder param measure —
-        the external engine reports 0 and only measure-log-producing
+        deck's ``.param`` cards).  Empty means a **placeholder**: no
+        ``.meas`` card is emitted — only a comment naming the measure — so
+        a real engine leaves the cell NaN (via :func:`parse_measure_log`)
+        instead of reporting a fabricated number, and only payload-aware
         runners (e.g. the analytic fake) supply the real value.
     """
 
@@ -112,9 +124,17 @@ class MeasureSpec:
     analysis: str = "tran"
     expression: str = ""
 
+    @property
+    def is_placeholder(self) -> bool:
+        return not self.expression
+
     def card(self, row: int) -> str:
-        body = self.expression if self.expression else "param='0'"
-        return f".meas {self.analysis} {measure_name(self.metric, row)} {body}"
+        name = measure_name(self.metric, row)
+        if self.is_placeholder:
+            # A comment, deliberately NOT a .meas card: a real engine must
+            # leave this cell NaN rather than evaluate a fake expression.
+            return f"* placeholder measure {name} (payload-aware runners only)"
+        return f".meas {self.analysis} {name} {self.expression}"
 
 
 def measure_name(metric: str, row: int) -> str:
@@ -127,19 +147,39 @@ _MEASURE_LINE = re.compile(
     r"^\s*(m_[a-z0-9_]+_r\d+)\s*=\s*([^\s,;]+)", re.IGNORECASE | re.MULTILINE
 )
 
+#: A quiet NaN with a distinguished payload, marking a cell the engine
+#: *never produced* (subprocess crash/timeout, cell absent from the log) as
+#: opposed to a measure the engine reported as ``failed`` — which is a
+#: genuine result whose value happens to be unknown (plain ``np.nan``).
+#: Every consumer sees both as NaN; only the simulation service's failure
+#: accounting (:func:`repro.simulation.service.failed_row_mask`) inspects
+#: the payload bits, which survive array copies, concatenation and
+#: pickling across worker processes.
+_FAILURE_NAN_BITS = np.uint64(0x7FF8_DEAD_BEEF_0000)
+FAILURE_NAN = float(_FAILURE_NAN_BITS.view(np.float64))
+
+
+def failure_nan_mask(values: np.ndarray) -> np.ndarray:
+    """Elementwise mask of :data:`FAILURE_NAN` cells (bit-exact match)."""
+    array = np.ascontiguousarray(values, dtype=np.float64)
+    return array.view(np.uint64) == _FAILURE_NAN_BITS
+
 
 def parse_measure_log(
     text: str, rows: int, metric_names: Sequence[str]
 ) -> Dict[str, np.ndarray]:
     """Reassemble ``{metric: (B,) array}`` from a measure log.
 
-    Every ``(metric, row)`` cell starts as NaN; a parseable
-    ``m_<metric>_r<row> = <float>`` line fills it in, and anything else —
-    a missing measure, ngspice's literal ``failed``, garbage output — leaves
-    the NaN in place.  Callers therefore get a full-shape tensor no matter
-    how partially the simulator succeeded.
+    Every ``(metric, row)`` cell starts as :data:`FAILURE_NAN` ("the
+    engine never produced this cell"); a parseable
+    ``m_<metric>_r<row> = <float>`` line fills it in, and a reported-but-
+    unparseable value (ngspice's literal ``failed``) becomes a plain NaN —
+    a genuine result whose value is unknown.  Callers therefore get a
+    full-shape tensor no matter how partially the simulator succeeded, and
+    the service's failure accounting can tell absent cells from failed
+    measures.
     """
-    metrics = {name: np.full(int(rows), np.nan) for name in metric_names}
+    metrics = {name: np.full(int(rows), FAILURE_NAN) for name in metric_names}
     lookup = {
         measure_name(name, row): (name, row)
         for name in metric_names
@@ -153,7 +193,9 @@ def parse_measure_log(
         try:
             metrics[name][row] = float(match.group(2))
         except ValueError:
-            continue  # "failed" (or other junk) stays NaN
+            # The engine *reported* this measure but could not evaluate it
+            # ("failed"): a result with an unknown value, not an absent one.
+            metrics[name][row] = np.nan
     return metrics
 
 
@@ -264,8 +306,17 @@ class Deck:
 
 def _payload_lines(job: "SimJob", metric_names: Sequence[str]) -> List[str]:
     lines = [
+        # corners=/mismatch= pin the block lengths explicitly: for
+        # conditions jobs the corner block is legitimately either 1
+        # (broadcast) or rows long and the mismatch block either absent or
+        # rows long, so without declared counts a truncated per-row corner
+        # block (or a wholly stripped mismatch block) would silently
+        # re-parse as a broadcast / nominal job.
         f"{PAYLOAD_PREFIX}job circuit={job.circuit_name} axis={job.axis} "
-        f"phase={job.phase.value} rows={job.batch} format={FORMAT_VERSION}",
+        f"phase={job.phase.value} rows={job.batch} "
+        f"corners={len(job.corners)} "
+        f"mismatch={0 if job.mismatch is None else len(job.mismatch)} "
+        f"format={FORMAT_VERSION}",
         f"{PAYLOAD_PREFIX}metrics " + " ".join(metric_names),
     ]
     for index, design in enumerate(job.designs):
@@ -344,7 +395,8 @@ def compile_job_deck(job: "SimJob", circuit) -> Deck:
     lines += netlist_cards(testbench)
 
     needs_tran = any(
-        specs[name].analysis == "tran" for name in metric_names
+        specs[name].analysis == "tran" and not specs[name].is_placeholder
+        for name in metric_names
     )
     for row in range(job.batch):
         if job.axis == DESIGN_AXIS:
@@ -374,6 +426,73 @@ def compile_job_deck(job: "SimJob", circuit) -> Deck:
 # ----------------------------------------------------------------------
 class DeckParseError(ValueError):
     """Raised when a deck's machine payload is absent or malformed."""
+
+
+def _check_payload_shape(
+    meta: Dict[str, str],
+    designs: Dict[int, List[float]],
+    corners: Dict[int, PVTCorner],
+    mismatch: Dict[int, List[float]],
+) -> None:
+    """A truncated or tampered payload must raise, not silently rebuild a
+    smaller job: the declared ``rows=`` count and the axis pin down exactly
+    how many design/corner/mismatch lines (with contiguous indices) the
+    payload must carry."""
+    from repro.simulation.service import DESIGN_AXIS
+
+    for label, block in (
+        ("design", designs),
+        ("corner", corners),
+        ("mismatch", mismatch),
+    ):
+        if block and sorted(block) != list(range(len(block))):
+            raise DeckParseError(
+                f"deck payload {label} indices are not contiguous from 0 "
+                f"(got {sorted(block)})"
+            )
+    try:
+        rows = int(meta["rows"])
+        declared_corners = int(meta["corners"])
+        declared_mismatch = int(meta["mismatch"])
+    except (KeyError, ValueError):
+        raise DeckParseError(
+            "deck payload declares no integer rows=/corners=/mismatch= "
+            "counts"
+        )
+    for label, declared, count in (
+        ("corners", declared_corners, len(corners)),
+        ("mismatch", declared_mismatch, len(mismatch)),
+    ):
+        if count != declared:
+            raise DeckParseError(
+                f"deck payload declares {label}={declared} but carries "
+                f"{count} {label} line(s); the deck is truncated or "
+                f"tampered"
+            )
+    if meta.get("axis") == DESIGN_AXIS:
+        expected = {"design": rows, "corner": 1, "mismatch": 0}
+    elif mismatch:
+        expected = {
+            "design": 1,
+            "corner": (1, rows),
+            "mismatch": rows,
+        }
+    else:
+        expected = {"design": 1, "corner": rows, "mismatch": 0}
+    actual = {
+        "design": len(designs),
+        "corner": len(corners),
+        "mismatch": len(mismatch),
+    }
+    for label, want in expected.items():
+        allowed = want if isinstance(want, tuple) else (want,)
+        if actual[label] not in allowed:
+            raise DeckParseError(
+                f"deck payload declares rows={rows} but carries "
+                f"{actual[label]} {label} line(s) (expected "
+                f"{' or '.join(str(w) for w in allowed)}); "
+                f"the deck is truncated or tampered"
+            )
 
 
 def parse_deck_job(text: str) -> "SimJob":
@@ -421,6 +540,7 @@ def parse_deck_job(text: str) -> "SimJob":
             f"deck payload format {declared} unsupported "
             f"(this parser reads format {FORMAT_VERSION})"
         )
+    _check_payload_shape(meta, designs, corners, mismatch)
     design_block = np.array(
         [designs[index] for index in sorted(designs)], dtype=float
     )

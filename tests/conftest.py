@@ -33,7 +33,7 @@ import pytest
 from repro.circuits import DramCoreSenseAmp, FloatingInverterAmplifier, StrongArmLatch
 from repro.core.spec import DesignSpec
 from repro.simulation import CircuitSimulator, SimulationBudget, SimulationService
-from repro.simulation.ngspice import EXECUTABLE_ENV
+from repro.simulation.ngspice import EXECUTABLE_ENV, PAYLOAD_AWARE_ENV
 from repro.variation.corners import typical_corner
 from repro.variation.mismatch import MismatchSampler
 
@@ -173,7 +173,9 @@ def fake_ngspice(tmp_path, monkeypatch):
     analytic engine), points ``$REPRO_NGSPICE`` at it and returns the
     launcher path.  Every ``NgspiceBackend()`` built afterwards — including
     ones rebuilt by name inside *newly forked* worker processes — shells
-    out to the fake.
+    out to the fake.  The fake parses the machine payload (it *is*
+    payload-aware), so ``$REPRO_NGSPICE_PAYLOAD_AWARE`` is set too: batched
+    jobs run as one multi-row deck instead of one subprocess per row.
     """
     launcher = tmp_path / "fake-ngspice"
     launcher.write_text(
@@ -186,6 +188,7 @@ def fake_ngspice(tmp_path, monkeypatch):
     )
     launcher.chmod(0o755)
     monkeypatch.setenv(EXECUTABLE_ENV, str(launcher))
+    monkeypatch.setenv(PAYLOAD_AWARE_ENV, "1")
     monkeypatch.delenv("FAKE_NGSPICE_MODE", raising=False)
     monkeypatch.delenv("FAKE_NGSPICE_FAIL_ONCE", raising=False)
     return str(launcher)

@@ -23,12 +23,18 @@ Failure injection (for the backend's error-path tests):
     ``exit3`` — exit with status 3 and no log;
     ``hang`` — sleep forever (exercises the runner timeout);
     ``garbage`` — exit 0 with a log containing no measures;
-    ``partial`` — report ``failed`` for the first measure of row 0 and
-    omit the last row entirely (exercises NaN cell reassembly).
+    ``failcell`` — report ``failed`` for the first measure of row 0 only
+    (a partial *row*: still a cacheable result);
+    ``allfail`` — report ``failed`` for every measure (the engine ran
+    fine, the design just doesn't measure: a genuine, chargeable result);
+    ``partial`` — ``failcell`` plus the last row omitted entirely (a
+    fully-NaN row: exercises NaN cell reassembly and the cache's refusal
+    to memoize rows that produced no metrics).
 ``FAKE_NGSPICE_FAIL_ONCE``
     Path to a marker file: if it exists, consume (delete) it and exit 3;
     subsequent runs succeed.  With sharded workers this makes exactly one
-    worker fail mid-shard while its siblings succeed.
+    worker fail mid-shard while its siblings succeed; with the backend's
+    per-row fallback it makes exactly one row degrade to NaN.
 """
 
 from __future__ import annotations
@@ -56,7 +62,9 @@ def _render_log(job, circuit, metrics, mode: str) -> str:
             continue  # the whole last row goes missing
         for index, name in enumerate(circuit.metric_names):
             label = measure_name(name, row)
-            if mode == "partial" and row == 0 and index == 0:
+            if mode == "allfail" or (
+                mode in ("partial", "failcell") and row == 0 and index == 0
+            ):
                 lines.append(f"{label} = failed")
                 continue
             lines.append(f"{label} = {float(metrics[name][row]):.17e}")

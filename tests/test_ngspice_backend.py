@@ -49,7 +49,11 @@ from repro.simulation import (
     available_backends,
     resolve_backend,
 )
-from repro.simulation.ngspice import EXECUTABLE_ENV, STRICT_ENV
+from repro.simulation.ngspice import (
+    EXECUTABLE_ENV,
+    PAYLOAD_AWARE_ENV,
+    STRICT_ENV,
+)
 from repro.spice.deck import (
     DeckParseError,
     compile_job_deck,
@@ -113,7 +117,9 @@ class TestDeckCompiler:
             compile_job_deck(job, strongarm)
 
     def test_generic_default_testbench_compiles(self):
-        """Circuits without a bespoke testbench still get a valid deck."""
+        """Circuits without a bespoke testbench still get a valid deck —
+        and their placeholder measures emit *no* ``.meas`` card (a real
+        engine must report NaN, not a fabricated number)."""
         from repro.circuits.base import AnalogCircuit, SizingParameter
         from repro.variation.distributions import DeviceKind, DeviceSpec
 
@@ -146,6 +152,12 @@ class TestDeckCompiler:
         deck = compile_job_deck(job, probe)
         assert measure_name("margin", 0) in deck.text
         assert "MD out bias 0" in deck.text  # generic diode-loaded bench
+        # Placeholder metrics: a comment names the measure, but no .meas
+        # card (ngspice would evaluate it to a fabricated 0.0) and no
+        # .tran analysis is forced by placeholder-only decks.
+        assert "placeholder measure" in deck.text
+        assert ".meas" not in deck.text
+        assert ".tran" not in deck.text
 
 
 class TestGoldenDecks:
@@ -223,12 +235,87 @@ class TestDeckRoundTrip:
         with pytest.raises(DeckParseError, match="payload"):
             parse_deck_job("* just a comment\n.end\n")
 
-    def test_future_format_rejected(self, strongarm):
+    def test_other_format_versions_rejected(self, strongarm):
         job = sample_conditions_job(strongarm, rows=1)
-        text = compile_job_deck(job, strongarm).text.replace(
-            "format=1", "format=99"
-        )
+        text = compile_job_deck(job, strongarm).text
         with pytest.raises(DeckParseError, match="format 99"):
+            parse_deck_job(text.replace("format=2", "format=99"))
+        # Version 1 predates the corners=/mismatch= counts: the format
+        # gate must reject it before the shape checks produce a
+        # misleading "truncated" error.
+        with pytest.raises(DeckParseError, match="format 1"):
+            parse_deck_job(text.replace("format=2", "format=1"))
+
+    def test_truncated_mismatch_payload_rejected(self, strongarm):
+        """A deck missing a payload row must raise, not silently rebuild a
+        smaller job."""
+        text = compile_job_deck(
+            sample_conditions_job(strongarm, rows=3), strongarm
+        ).text
+        lines = [
+            line
+            for line in text.splitlines()
+            if not line.startswith("*:mismatch 2 ")
+        ]
+        assert len(lines) == len(text.splitlines()) - 1
+        with pytest.raises(DeckParseError, match="truncated"):
+            parse_deck_job("\n".join(lines))
+
+    def test_truncated_design_payload_rejected(self, strongarm):
+        designs = np.random.default_rng(3).uniform(
+            0.2, 0.8, (4, strongarm.dimension)
+        )
+        job = SimJob.design_batch(strongarm.name, designs, typical_corner())
+        text = compile_job_deck(job, strongarm).text
+        lines = [
+            line
+            for line in text.splitlines()
+            if not line.startswith("*:design 3 ")
+        ]
+        assert len(lines) == len(text.splitlines()) - 1
+        with pytest.raises(DeckParseError, match="rows=4"):
+            parse_deck_job("\n".join(lines))
+
+    def test_truncated_per_row_corner_block_rejected(self, strongarm):
+        """Dropping per-row corner lines must not silently re-parse as a
+        broadcast (length-1) corner block: the declared corners= count
+        pins the block length exactly."""
+        rng = np.random.default_rng(9)
+        corner_set = list(full_corner_set())
+        job = SimJob.conditions(
+            strongarm.name,
+            rng.uniform(0.2, 0.8, strongarm.dimension),
+            (corner_set[0], corner_set[1]),  # one corner per mismatch row
+            rng.standard_normal((2, strongarm.mismatch_dimension)),
+        )
+        text = compile_job_deck(job, strongarm).text
+        lines = [
+            line
+            for line in text.splitlines()
+            if not line.startswith("*:corner 1 ")
+        ]
+        assert len(lines) == len(text.splitlines()) - 1
+        with pytest.raises(DeckParseError, match="corners=2"):
+            parse_deck_job("\n".join(lines))
+
+    def test_tampered_rows_count_rejected(self, strongarm):
+        text = compile_job_deck(
+            sample_conditions_job(strongarm, rows=3), strongarm
+        ).text.replace("rows=3", "rows=5")
+        with pytest.raises(DeckParseError, match="rows=5"):
+            parse_deck_job(text)
+
+    def test_noncontiguous_payload_indices_rejected(self, strongarm):
+        job = SimJob.conditions(
+            strongarm.name,
+            np.full(strongarm.dimension, 0.5),
+            (typical_corner(),),
+            None,
+        )
+        text = compile_job_deck(job, strongarm).text.replace(
+            "*:design 0 ", "*:design 1 "
+        )
+        with pytest.raises(DeckParseError, match="not contiguous"):
             parse_deck_job(text)
 
 
@@ -263,6 +350,18 @@ class TestMeasureLogParser:
         for name in self.METRICS:
             assert metrics[name].shape == (3,)
             assert np.isnan(metrics[name]).all()
+
+    def test_absent_vs_reported_failed_cells_are_distinguished(self):
+        """Both read as NaN, but only cells the engine never produced carry
+        the FAILURE_NAN tag the service's failure accounting checks."""
+        from repro.spice.deck import failure_nan_mask
+
+        log = "m_power_r0 = failed\nm_noise_r0 = 1e-3\n"
+        metrics = parse_measure_log(log, 2, self.METRICS)
+        assert np.isnan(metrics["power"][0])  # reported as failed...
+        assert not failure_nan_mask(metrics["power"])[0]  # ...a result
+        assert failure_nan_mask(metrics["power"])[1]  # row 1 never produced
+        assert failure_nan_mask(metrics["noise"])[1]
 
     def test_unknown_measures_ignored(self):
         log = "m_power_r9 = 1.0\nm_other_r0 = 2.0\nm_power_r0 = 3.0\n"
@@ -330,6 +429,154 @@ class TestNgspiceBackendWithFake:
         assert service.budget.total == 3
         for name in strongarm.metric_names:
             assert np.isfinite(result.metrics[name]).all()
+
+
+class TestPerRowFallback:
+    """Real (non-payload-aware) engines get one single-row deck per row.
+
+    A real ngspice binary resolves the repeated per-row ``.param`` sections
+    of a multi-row deck last-wins, so handing it the batch deck whole would
+    silently return wrong numbers for every row but the last.  The backend
+    therefore splits batched jobs row-wise by default; only the fixture's
+    explicitly payload-aware fake gets the multi-row fast path.
+    """
+
+    def count_runs(self, monkeypatch):
+        calls = []
+        original = NgspiceRunner.run_deck
+
+        def counting(runner, deck_text, tag="job"):
+            calls.append(tag)
+            return original(runner, deck_text, tag)
+
+        monkeypatch.setattr(NgspiceRunner, "run_deck", counting)
+        return calls
+
+    def test_payload_awareness_defaults_off_and_env_selectable(
+        self, monkeypatch
+    ):
+        monkeypatch.delenv(PAYLOAD_AWARE_ENV, raising=False)
+        assert not NgspiceBackend().payload_aware
+        monkeypatch.setenv(PAYLOAD_AWARE_ENV, "1")
+        assert NgspiceBackend().payload_aware
+        assert not NgspiceBackend(payload_aware=False).payload_aware
+
+    def test_multi_row_job_splits_into_single_row_decks(
+        self, strongarm, fake_ngspice, monkeypatch
+    ):
+        calls = self.count_runs(monkeypatch)
+        job = sample_conditions_job(strongarm, rows=3)
+        backend = NgspiceBackend(payload_aware=False)
+        metrics = backend.evaluate(strongarm, job)
+        assert len(calls) == 3  # one subprocess per batch row
+        reference = BatchedMNABackend().evaluate(strongarm, job)
+        for name in strongarm.metric_names:
+            np.testing.assert_allclose(
+                metrics[name],
+                reference[name],
+                rtol=fake_module.TOLERANCE,
+                atol=0,
+            )
+
+    def test_payload_aware_runner_keeps_single_deck_fast_path(
+        self, strongarm, fake_ngspice, monkeypatch
+    ):
+        calls = self.count_runs(monkeypatch)
+        job = sample_conditions_job(strongarm, rows=3)
+        NgspiceBackend().evaluate(strongarm, job)  # fixture sets the env
+        assert len(calls) == 1
+
+    def test_design_axis_splits_per_row_too(
+        self, paper_circuit, fake_ngspice, monkeypatch
+    ):
+        calls = self.count_runs(monkeypatch)
+        designs = np.random.default_rng(11).uniform(
+            0.2, 0.8, (4, paper_circuit.dimension)
+        )
+        job = SimJob.design_batch(
+            paper_circuit.name, designs, typical_corner()
+        )
+        metrics = NgspiceBackend(payload_aware=False).evaluate(
+            paper_circuit, job
+        )
+        assert len(calls) == 4
+        reference = BatchedMNABackend().evaluate(paper_circuit, job)
+        for name in paper_circuit.metric_names:
+            np.testing.assert_allclose(
+                metrics[name],
+                reference[name],
+                rtol=fake_module.TOLERANCE,
+                atol=0,
+            )
+
+    def test_failed_row_degrades_alone(
+        self, strongarm, fake_ngspice, monkeypatch, tmp_path
+    ):
+        marker = tmp_path / "fail-once"
+        marker.write_text("")
+        monkeypatch.setenv("FAKE_NGSPICE_FAIL_ONCE", str(marker))
+        job = sample_conditions_job(strongarm, rows=3)
+        backend = NgspiceBackend(payload_aware=False)
+        with pytest.warns(RuntimeWarning, match="1/3 ngspice row runs"):
+            metrics = backend.evaluate(strongarm, job)
+        reference = BatchedMNABackend().evaluate(strongarm, job)
+        for name in strongarm.metric_names:
+            assert np.isnan(metrics[name][0])  # the failed row only
+            np.testing.assert_allclose(
+                metrics[name][1:],
+                reference[name][1:],
+                rtol=fake_module.TOLERANCE,
+                atol=0,
+            )
+
+    def test_failed_row_raises_in_strict_mode(
+        self, strongarm, fake_ngspice, monkeypatch
+    ):
+        monkeypatch.setenv("FAKE_NGSPICE_MODE", "exit3")
+        job = sample_conditions_job(strongarm, rows=2)
+        backend = NgspiceBackend(strict=True, payload_aware=False)
+        with pytest.raises(NgspiceError, match="row 0 of 2"):
+            backend.evaluate(strongarm, job)
+
+    def test_placeholder_only_circuit_rejected_for_real_engines(
+        self, fake_ngspice
+    ):
+        """A circuit with only placeholder measures emits no .meas card, so
+        a real engine could never report a metric: that is a deployment
+        error (raised even non-strict), not a per-run NaN degradation —
+        otherwise every run would be refunded and a budget-capped loop
+        would spin forever."""
+        from repro.circuits.base import AnalogCircuit, SizingParameter
+        from repro.variation.distributions import DeviceKind, DeviceSpec
+
+        class PlaceholderProbe(AnalogCircuit):
+            name = "placeholder_probe"
+
+            def _build_parameters(self):
+                return [SizingParameter("w", 1.0, 2.0, unit="um")]
+
+            def _build_constraints(self):
+                return {"margin": 1.0}
+
+            def _build_devices(self):
+                return [
+                    DeviceSpec(
+                        "D",
+                        DeviceKind.NMOS,
+                        width_of=lambda x: 0.04,
+                        length_of=lambda x: 0.03,
+                    )
+                ]
+
+            def _evaluate_physical_batch(self, x, corner, mismatch):
+                return {"margin": 0.5 + 0.0 * mismatch["D"]["vth"]}
+
+        probe = PlaceholderProbe()
+        job = SimJob.conditions(
+            probe.name, np.array([0.5]), (typical_corner(),), None
+        )
+        with pytest.raises(NgspiceError, match="placeholder"):
+            NgspiceBackend(payload_aware=False).evaluate(probe, job)
 
 
 class TestNgspiceFailureHandling:
@@ -433,15 +680,73 @@ class TestNgspiceComposition:
             assert np.isfinite(recovered.metrics[name]).all()
         assert service.run(job).cached  # the real result is what memoizes
 
-    def test_partial_nan_blocks_are_still_cacheable(
+    def test_nonstrict_failure_refunds_budget(
         self, strongarm, fake_ngspice, service_factory, monkeypatch
     ):
-        monkeypatch.setenv("FAKE_NGSPICE_MODE", "partial")
+        """Graceful (non-raising) simulator failure accounts like the
+        strict/raise path: a run that produced no metrics — the all-NaN
+        degradation block the cache already refuses to store — is not
+        counted, and its idempotency key is released so the retry charges
+        exactly once."""
+        service = service_factory(
+            strongarm, backend="ngspice", idempotent_charges=True
+        )
+        job = sample_conditions_job(strongarm, rows=2)
+        monkeypatch.setenv("FAKE_NGSPICE_MODE", "exit3")
+        with pytest.warns(RuntimeWarning):
+            failed = service.run(job)
+        assert np.isnan(failed.metrics[strongarm.metric_names[0]]).all()
+        assert service.budget.total == 0  # the charge was refunded
+        monkeypatch.delenv("FAKE_NGSPICE_MODE")
+        recovered = service.run(job)  # retry charges like a first attempt
+        assert service.budget.total == 2
+        for name in strongarm.metric_names:
+            assert np.isfinite(recovered.metrics[name]).all()
+
+    def test_all_failed_measures_is_a_result_not_a_failure(
+        self, strongarm, fake_ngspice, service_factory, monkeypatch
+    ):
+        """The engine ran fine but every .measure reported ``failed`` (a
+        design that simply doesn't switch): that is a genuine result —
+        charged and cached — not the infrastructure-failure signature,
+        which only FAILURE_NAN-tagged cells (never produced at all) carry."""
+        monkeypatch.setenv("FAKE_NGSPICE_MODE", "allfail")
+        service = service_factory(strongarm, backend="ngspice", cache=True)
+        job = sample_conditions_job(strongarm, rows=2)
+        first = service.run(job)
+        for name in strongarm.metric_names:
+            assert np.isnan(first.metrics[name]).all()
+        assert service.budget.total == 2  # the engine ran: charged
+        assert service.run(job).cached  # and the result memoizes
+        assert service.budget.total == 2  # the hit charged nothing
+
+    def test_failed_measure_cells_are_still_cacheable(
+        self, strongarm, fake_ngspice, service_factory, monkeypatch
+    ):
+        monkeypatch.setenv("FAKE_NGSPICE_MODE", "failcell")
         service = service_factory(strongarm, backend="ngspice", cache=True)
         job = sample_conditions_job(strongarm, rows=3)
         first = service.run(job)
         assert np.isnan(first.metrics[strongarm.metric_names[0]][0])
         assert service.run(job).cached  # individual failed measures cache
+
+    def test_fully_nan_rows_are_not_cached(
+        self, strongarm, fake_ngspice, service_factory, monkeypatch
+    ):
+        """A row that produced no metrics at all (per-row flake / omitted
+        from the log) must be re-simulated next time, not memoized."""
+        monkeypatch.setenv("FAKE_NGSPICE_MODE", "partial")
+        service = service_factory(strongarm, backend="ngspice", cache=True)
+        job = sample_conditions_job(strongarm, rows=3)
+        first = service.run(job)
+        for name in strongarm.metric_names:
+            assert np.isnan(first.metrics[name][2])  # whole row omitted
+        assert len(service.cache) == 0
+        monkeypatch.delenv("FAKE_NGSPICE_MODE")
+        recovered = service.run(job)  # simulator healthy again
+        assert not recovered.cached
+        assert np.isfinite(recovered.metrics[strongarm.metric_names[0]][2])
+        assert service.run(job).cached  # the full result is what memoizes
 
     def test_composes_with_sharding(
         self, strongarm, fake_ngspice, service_factory
