@@ -54,18 +54,39 @@ service** (:mod:`repro.simulation.service`)::
 
     optimizer / verifier / baselines / examples / CLI
                         |
-                 CircuitSimulator          (compat shim: 5 entry points
-                        |                   compile to SimJob)
-               SimulationService.run(job)  (budget accounting lives here)
-                        |
-         CachingBackend (optional, job-hash memoization, hit = 0 budget)
+                 CircuitSimulator           (compat shim: 5 entry points
+                        |                    compile to SimJob, each with a
+                        |                    submit_* futures twin)
+        SimulationService.run(job)          (blocking)
+        SimulationService.submit(job)       -> SimFuture: work dispatched
+                        |                      now, ALL budget accounting
+                        |                      (idempotent charge, failure
+                        |                      refund, cache store) at
+                        |                      future *resolution*;
+                        |                      cancel() = never charged
+         CachingBackend (optional, job-hash memoization, hit = 0 budget;
+                        |   cache_dir spills blocks to a version-stamped
+                        |   on-disk store — reruns replay cross-process
+                        |   with zero backend calls and zero budget)
                         |
          ShardedDispatcher (optional, workers > 1: splits ANY job axis —
                         |   mismatch rows, corner rows, design rows —
-                        |   across a process pool, bit-identical)
+                        |   across the service's persistent warm
+                        |   WorkerPool: spawned eagerly at service
+                        |   creation, workers pre-import backends,
+                        |   pre-build the registry circuit and pin BLAS
+                        |   threads; service.close() releases it)
                         |
-         BatchedMNABackend | ReferenceScalarBackend | (future: ngspice,
-                            remote workers, ...)
+         BatchedMNABackend | ReferenceScalarBackend | NgspiceBackend
+                           (row_parallel engines fan per-row decks out
+                            across the pool, one row per worker)
+
+The control loop pipelines on ``submit``: full-MC verification
+**double-buffers** its h-SCORE-ordered chunks (chunk *k+1* in flight
+while chunk *k* is scanned) and the optimizer seed phase overlaps its
+per-seed corner mega-batches — with metrics, seeded streams and budget
+accounting bit-identical to the sequential schedule
+(``OperationalConfig.pipeline = False`` is the tested reference path).
 
 A :class:`~repro.simulation.service.SimJob` is a frozen value object —
 design block × corner block × mismatch block + phase tag — with a
@@ -116,11 +137,13 @@ The **control loop is batched too** — not just the kernel:
 * *LU-cached solver kernel* — every MOSFET companion stamp is a rank-one
   update of the sample-invariant static stamp, so ``solve_dc_batched`` /
   ``solve_transient_batched`` factor the static matrix once
-  (``scipy.linalg.lu_factor``, or ``scipy.sparse`` above
-  ``SPARSE_AUTO_SIZE`` unknowns) and drive every Newton iteration through a
-  Sherman–Morrison–Woodbury correction instead of re-solving dense
-  ``(B, n, n)`` stacks.  ``solver="auto"`` falls back to the dense path
-  whenever the update rank (the MOSFET count) exceeds
+  (``scipy.linalg.lu_factor``, or ``scipy.sparse`` above the *measured*
+  dense-vs-splu crossover — a one-shot per-process micro-calibration,
+  ``$REPRO_SPARSE_AUTO_SIZE`` to pin; see
+  :func:`repro.spice.batched.sparse_auto_size`) and drive every Newton
+  iteration through a Sherman–Morrison–Woodbury correction instead of
+  re-solving dense ``(B, n, n)`` stacks.  ``solver="auto"`` falls back to
+  the dense path whenever the update rank (the MOSFET count) exceeds
   ``SMW_RANK_LIMIT_FRACTION`` of the system size — beyond that the
   "low-rank" correction costs more than it saves.
 * *Chunked verification* — pass 2 of Algorithm 2 evaluates h-SCORE-ordered
@@ -136,12 +159,20 @@ The **control loop is batched too** — not just the kernel:
   ``CircuitSimulator.simulate_designs`` (one vectorized pass over many
   designs), visiting exactly the designs the scalar schedule would.
 * *Multiprocessing sharding* — ``OperationalConfig.workers > 1`` splits
-  batched evaluations across a process pool with bit-identical results
-  (:mod:`repro.simulation.sharding`).
+  batched evaluations across the service's persistent warm worker pool
+  with bit-identical results (:mod:`repro.simulation.sharding`).
+* *Async pipelining* — ``SimulationService.submit`` returns futures with
+  resolution-time accounting; the verifier double-buffers its full-MC
+  chunks, the seed phase overlaps its mega-batches, per-row external
+  simulator decks fan out across the pool, and the job-hash cache spills
+  to disk for cross-process replay (``cache_dir``).
 
 End-to-end this makes a verification-heavy seed → optimize → verify pass
 ~5x faster and repeated batched Newton DC solves 2-3x faster on ladder-size
-netlists (see ``benchmarks/results/BENCH_loop_batching.json``).
+netlists (``benchmarks/results/BENCH_loop_batching.json``), with the async
+pipelined service adding a further ~1.5x at ``workers=4`` on
+simulation-bound workloads plus ~2.7x faster first-job latency from warm
+pools (``benchmarks/results/BENCH_async_service.json``).
 """
 
 from repro.version import __version__

@@ -107,6 +107,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="memoize simulations by job hash (hits charge zero budget)",
     )
     parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help=(
+            "persist the simulation cache to this directory (implies "
+            "--cache); a repeated run replays from disk with zero backend "
+            "invocations and zero budget charged"
+        ),
+    )
+    parser.add_argument(
+        "--pipeline",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "overlap the control loop with in-flight simulation "
+            "(double-buffered verification, overlapped seed batches); "
+            "--no-pipeline selects the bit-identical sequential reference"
+        ),
+    )
+    parser.add_argument(
         "--paper-scale",
         action=argparse.BooleanOptionalAction,
         default=None,
@@ -157,6 +176,8 @@ def _resolve_config(args: argparse.Namespace) -> api.ExperimentConfig:
         "backend": args.backend,
         "workers": args.workers,
         "cache_simulations": args.cache,
+        "cache_dir": args.cache_dir,
+        "pipeline": args.pipeline,
         "paper_scale": args.paper_scale,
     }
     if args.seeds is not None:
@@ -183,10 +204,13 @@ def _print_dry_run(config: api.ExperimentConfig) -> None:
         f"Full verification:    "
         f"{operational.total_verification_simulations} simulations/pass"
     )
+    cache_state = "on" if operational.cache_simulations else "off"
+    if operational.cache_dir:
+        cache_state = f"disk:{operational.cache_dir}"
     print(
         f"Backend:              {operational.backend} "
-        f"(workers={operational.workers}, "
-        f"cache={'on' if operational.cache_simulations else 'off'})"
+        f"(workers={operational.workers}, cache={cache_state}, "
+        f"pipeline={'on' if operational.pipeline else 'off'})"
     )
     print(f"Seeds:                {list(config.seeds)}")
 

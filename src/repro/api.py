@@ -97,6 +97,15 @@ class ExperimentConfig:
     backend: str = "batched"
     workers: int = 1
     cache_simulations: bool = False
+    #: Cross-process simulation cache directory (implies
+    #: ``cache_simulations``): results spill to a job-hash-keyed on-disk
+    #: store and a repeated run replays from it — zero backend
+    #: invocations, zero budget charged.
+    cache_dir: Optional[str] = None
+    #: Futures-based pipelining of the control loop (double-buffered
+    #: verification, overlapped seed mega-batches); bit-identical to the
+    #: sequential schedule, ``False`` selects the reference path.
+    pipeline: bool = True
     verification_chunk: int = 8
     paper_scale: bool = False
     #: Extra :class:`GlovaConfig` field overrides (ablation switches etc.).
@@ -155,6 +164,8 @@ class ExperimentConfig:
             workers=self.workers,
             backend=self.backend,
             cache_simulations=self.cache_simulations,
+            cache_dir=self.cache_dir,
+            pipeline=self.pipeline,
         )
         return config.with_overrides(**self.overrides)
 
@@ -293,7 +304,12 @@ def _run_seed(config: ExperimentConfig, seed: int) -> OptimizationResult:
     circuit = config.build_circuit()
     optimizer_cls = ALGORITHMS[config.algorithm]
     optimizer = optimizer_cls(circuit, config.glova_config(seed))
-    return optimizer.run()
+    try:
+        return optimizer.run()
+    finally:
+        # Every optimizer owns a CircuitSimulator; release its service's
+        # worker pool so per-seed pools never accumulate across a sweep.
+        optimizer.simulator.close()
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentReport:

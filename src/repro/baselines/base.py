@@ -59,6 +59,7 @@ class BaselineOptimizer(abc.ABC):
             workers=self.operational.workers,
             backend=self.operational.backend,
             cache=self.operational.cache_simulations,
+            cache_dir=self.operational.cache_dir,
         )
         self.last_worst = LastWorstCaseBuffer(self.operational.corners)
         self.mismatch_sampler = MismatchSampler(

@@ -82,6 +82,18 @@ class OperationalConfig:
     cache_simulations:
         Memoize simulation results by job content hash; a cache hit
         charges zero budget.
+    cache_dir:
+        Directory for the cross-process simulation cache.  Setting it
+        implies ``cache_simulations``: results spill to a job-hash-keyed
+        on-disk store and repeated runs replay from it with zero backend
+        invocations and zero budget charged.
+    pipeline:
+        Overlap the control loop with in-flight simulation through the
+        futures-based service path: full-MC verification double-buffers
+        its h-SCORE-ordered chunks and the optimizer seed phase overlaps
+        its per-seed corner mega-batches.  Metrics, seeded streams and
+        budget accounting are bit-identical to the sequential schedule
+        (``False`` — the debugging / equivalence reference).
     """
 
     method: VerificationMethod
@@ -94,6 +106,8 @@ class OperationalConfig:
     workers: int = 1
     backend: str = "batched"
     cache_simulations: bool = False
+    cache_dir: Optional[str] = None
+    pipeline: bool = True
 
     @property
     def total_verification_simulations(self) -> int:
@@ -119,6 +133,8 @@ def operational_config(
     workers: int = 1,
     backend: str = "batched",
     cache_simulations: bool = False,
+    cache_dir: Optional[str] = None,
+    pipeline: bool = True,
 ) -> OperationalConfig:
     """Build the Table-I operational configuration for ``method``.
 
@@ -133,6 +149,8 @@ def operational_config(
         workers=workers,
         backend=backend,
         cache_simulations=cache_simulations,
+        cache_dir=cache_dir,
+        pipeline=pipeline,
     )
     if method is VerificationMethod.CORNER:
         return OperationalConfig(
@@ -187,6 +205,14 @@ class GlovaConfig:
     # path) and job-hash result caching (a hit charges zero budget).
     backend: str = "batched"
     cache_simulations: bool = False
+    # Cross-process cache directory (implies cache_simulations): results
+    # spill to a job-hash-keyed on-disk store and repeated runs replay
+    # from it with zero backend invocations and zero budget charged.
+    cache_dir: Optional[str] = None
+    # Futures-based pipelining of the control loop (double-buffered
+    # verification chunks, overlapped seed-phase mega-batches) —
+    # bit-identical to the sequential schedule, False = reference path.
+    pipeline: bool = True
     # --- risk parameters ----------------------------------------------
     risk_beta1: float = -3.0
     reliability_beta2: float = 4.0
@@ -230,6 +256,8 @@ class GlovaConfig:
             workers=self.workers,
             backend=self.backend,
             cache_simulations=self.cache_simulations,
+            cache_dir=self.cache_dir,
+            pipeline=self.pipeline,
         )
 
     def effective_ensemble_size(self) -> int:

@@ -38,6 +38,7 @@ from repro.core.spec import DesignSpec
 from repro.core.turbo import TurboSampler
 from repro.core.verification import Verifier
 from repro.simulation.budget import SimulationBudget, SimulationPhase
+from repro.simulation.service import iter_resolved
 from repro.simulation.simulator import CircuitSimulator
 from repro.variation.mismatch import MismatchSampler
 
@@ -69,6 +70,7 @@ class GlovaOptimizer:
             workers=self.operational.workers,
             backend=self.operational.backend,
             cache=self.operational.cache_simulations,
+            cache_dir=self.operational.cache_dir,
         )
         self.agent = RiskSensitiveAgent(circuit.dimension, self.config, self.rng)
         self.last_worst = LastWorstCaseBuffer(self.operational.corners)
@@ -134,35 +136,54 @@ class GlovaOptimizer:
         mismatch sets are still drawn corner-by-corner — the seeded stream
         is identical to a per-corner schedule — but the simulator sees a
         single ``(|corners| × N',)`` evaluation per seed.
+
+        With ``OperationalConfig.pipeline`` the per-seed mega-batches are
+        **overlapped**: seed *i+1*'s mismatch sets are sampled and its
+        sweep submitted while seed *i* is still in flight, then results
+        are resolved — and the buffers filled — strictly in seed order.
+        Sampling still happens in seed order (the seeded stream is
+        bit-identical; simulation consumes no randomness) and budget
+        charges land at resolution, in seed order, so the accounting is
+        bit-identical to the sequential schedule too.
         """
         corners = list(self.operational.corners)
         use_mc = self.operational.include_local or self.operational.include_global
-        for design in designs:
+
+        def sample_sets(design: np.ndarray):
+            """Draw the per-corner mismatch sets (always in seed order)."""
             x_physical = self.circuit.denormalize(design)
-            worst_reward = FEASIBLE_REWARD
+            return [
+                self._mismatch_sampler.sample(
+                    x_physical, self.operational.optimization_samples
+                )
+                for _ in corners
+            ]
+
+        def submit_sweep(design: np.ndarray):
+            """Sample (in seed order) and submit one seed's sweep; ``None``
+            for an empty corner set (a no-op seed)."""
+            if not corners:
+                return None
             if use_mc:
-                mismatch_sets = [
-                    self._mismatch_sampler.sample(
-                        x_physical, self.operational.optimization_samples
-                    )
-                    for _ in corners
-                ]
-                per_corner = self.simulator.simulate_corner_sweep(
+                return self.simulator.submit_corner_sweep(
                     design,
                     corners,
-                    mismatch_sets,
+                    sample_sets(design),
                     phase=SimulationPhase.INITIAL_SAMPLING,
                 )
+            return self.simulator.submit_corners(
+                design,
+                self.operational.corners,
+                None,
+                phase=SimulationPhase.INITIAL_SAMPLING,
+            )
+
+        def process(design: np.ndarray, resolved) -> None:
+            if resolved is None:
+                per_corner = []
             else:
-                per_corner = [
-                    [record]
-                    for record in self.simulator.simulate_corners(
-                        design,
-                        self.operational.corners,
-                        None,
-                        phase=SimulationPhase.INITIAL_SAMPLING,
-                    )
-                ]
+                per_corner = resolved if use_mc else [[r] for r in resolved]
+            worst_reward = FEASIBLE_REWARD
             for corner, records in zip(corners, per_corner):
                 metric_dicts = [r.metrics for r in records]
                 corner_rewards = rewards_from_matrix(
@@ -179,6 +200,40 @@ class GlovaOptimizer:
                     )
                     worst_reward = min(worst_reward, estimate_reward)
             self.agent.observe(design, worst_reward)
+
+        if not self.operational.pipeline:
+            # The sequential reference path: genuinely blocking calls, no
+            # futures anywhere.
+            for design in designs:
+                if not corners:
+                    process(design, None)
+                elif use_mc:
+                    process(
+                        design,
+                        self.simulator.simulate_corner_sweep(
+                            design,
+                            corners,
+                            sample_sets(design),
+                            phase=SimulationPhase.INITIAL_SAMPLING,
+                        ),
+                    )
+                else:
+                    process(
+                        design,
+                        self.simulator.simulate_corners(
+                            design,
+                            self.operational.corners,
+                            None,
+                            phase=SimulationPhase.INITIAL_SAMPLING,
+                        ),
+                    )
+            return
+
+        # Overlapped schedule: one sweep in flight ahead, resolved and
+        # processed in seed order; an abort (budget exhaustion) cancels
+        # the speculative sweep before it is charged.
+        for design, resolved in iter_resolved(designs, submit_sweep):
+            process(design, resolved)
 
     # ------------------------------------------------------------------
     # Phase 3-4: the optimization / verification loop

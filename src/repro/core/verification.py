@@ -23,6 +23,19 @@ Verification proceeds in two passes over the corner set:
    (``VerificationResult.simulations`` reports exactly what was charged).
    A chunk of 1 reproduces the sequential schedule, budget included.
 
+   With ``OperationalConfig.pipeline`` (the default) the chunk schedule is
+   **double-buffered** through the futures-based service path: while chunk
+   *k* evaluates in flight, the verifier has already ranked and submitted
+   chunk *k+1*, so it never idles on the simulator between chunks.  The
+   pipeline stays *within* one corner (the next corner's mismatch set is
+   sampled only after the current corner fully passes, keeping the seeded
+   stream bit-identical to the sequential schedule), resolution happens in
+   rank order (budget accounting lands at resolution, in the same order and
+   with the same chunk-rounding as the sequential schedule), and an abort
+   cancels the speculative chunk before it is ever charged — pass/fail,
+   failed corner, failure stage, worst reward, budget totals and RNG
+   streams are all bit-for-bit identical (equivalence-tested).
+
 If both passes complete, the design is verified for the chosen scenario.
 The worst-corner subset simulated during the optimization phase can be
 passed in and is reused rather than re-simulated (Section V.A notes this
@@ -39,7 +52,7 @@ The two Table-III ablation switches live here as well:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,6 +63,7 @@ from repro.core.replay import LastWorstCaseBuffer
 from repro.core.reward import FEASIBLE_REWARD, rewards_from_matrix
 from repro.core.spec import DesignSpec
 from repro.simulation.budget import SimulationPhase
+from repro.simulation.service import iter_resolved
 from repro.simulation.simulator import CircuitSimulator, SimulationRecord
 from repro.variation.corners import CornerSet, PVTCorner
 from repro.variation.mismatch import MismatchSampler, MismatchSet
@@ -100,6 +114,10 @@ class Verifier:
         self.use_reordering = use_reordering
         self.rng = rng if rng is not None else np.random.default_rng()
 
+    #: Chunks kept in flight ahead of the one being scanned (1 = classic
+    #: double buffering; the pool is the real concurrency limit).
+    PIPELINE_AHEAD = 1
+
     # ------------------------------------------------------------------
     def _sampler(self) -> MismatchSampler:
         return MismatchSampler(
@@ -108,6 +126,46 @@ class Verifier:
             include_local=self.operational.include_local,
             rng=self.rng,
         )
+
+    def _chunk_record_stream(
+        self,
+        design: np.ndarray,
+        corner: PVTCorner,
+        extra_set: MismatchSet,
+        chunks: Sequence[np.ndarray],
+    ) -> Iterator[List[SimulationRecord]]:
+        """Yield each chunk's records, in rank order.
+
+        Sequential mode (``pipeline`` off, or a single chunk): one blocking
+        simulation per chunk, exactly the pre-async schedule.  Pipelined
+        mode: chunk *k+1* is submitted through the futures-based service
+        path before chunk *k* is resolved, so the simulator never idles
+        between chunks.  Resolution happens strictly in rank order — budget
+        charges land in the same order, with the same chunk rounding, as
+        the sequential schedule — and abandoning the generator (the caller
+        aborts on a failing chunk) cancels the speculative in-flight chunk
+        before it is ever charged or cached.
+        """
+        if not self.operational.pipeline or len(chunks) <= 1:
+            for chunk in chunks:
+                yield self.simulator.simulate_mismatch_set(
+                    design,
+                    corner,
+                    extra_set.subset(chunk),
+                    phase=SimulationPhase.VERIFICATION,
+                )
+            return
+
+        def submit(chunk: np.ndarray):
+            return self.simulator.submit_mismatch_set(
+                design,
+                corner,
+                extra_set.subset(chunk),
+                phase=SimulationPhase.VERIFICATION,
+            )
+
+        for _, records in iter_resolved(chunks, submit, self.PIPELINE_AHEAD):
+            yield records
 
     # ------------------------------------------------------------------
     def verify(
@@ -232,15 +290,17 @@ class Verifier:
                 # h-SCORE-ordered chunks: one batched evaluation per chunk,
                 # then a rank-order scan for the first infeasible reward, so
                 # the abort decision matches the sequential schedule while
-                # the simulator runs at batch speed.
-                for start in range(0, len(order), chunk_size):
-                    chunk = order[start : start + chunk_size]
-                    records = self.simulator.simulate_mismatch_set(
-                        design,
-                        screen.corner,
-                        extra_set.subset(chunk),
-                        phase=SimulationPhase.VERIFICATION,
-                    )
+                # the simulator runs at batch speed.  With pipelining the
+                # stream below keeps the next chunk in flight while this
+                # one is scanned (double buffering); aborting out of the
+                # loop cancels the speculative chunk uncharged.
+                chunks = [
+                    order[start : start + chunk_size]
+                    for start in range(0, len(order), chunk_size)
+                ]
+                for records in self._chunk_record_stream(
+                    design, screen.corner, extra_set, chunks
+                ):
                     rewards = rewards_from_matrix(
                         self.spec,
                         self.simulator.metrics_matrix(

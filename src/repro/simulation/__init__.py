@@ -11,10 +11,20 @@ corner block × mismatch block + phase tag) evaluated by a
   job to an ngspice netlist deck and parses ``.measure`` results back into
   the metrics tensor (:mod:`repro.simulation.ngspice`);
 * :class:`CachingBackend` — memoizes results by job content hash (a hit
-  charges zero budget);
+  charges zero budget), optionally spilled to an on-disk store
+  (``cache_dir``) that replays across processes;
 * sharding — ``workers > 1`` splits any job's batch axis (mismatch,
-  corner *and* design rows) across a process pool with bit-identical
-  results (:mod:`repro.simulation.sharding`).
+  corner *and* design rows) across a persistent warm
+  :class:`~repro.simulation.sharding.WorkerPool` owned by the service,
+  with bit-identical results (:mod:`repro.simulation.sharding`).
+
+The service runs jobs synchronously (:meth:`SimulationService.run`) or
+asynchronously (:meth:`SimulationService.submit` → :class:`SimFuture`),
+with all budget accounting — idempotent charges, failure refunds, cache
+stores — performed at resolution time, so pipelined control loops (the
+double-buffered verifier, the overlapped seed phase) account bit-for-bit
+like their sequential twins.  Services own their pools: ``close()`` or the
+context-manager protocol releases them.
 
 The service
 
@@ -33,10 +43,12 @@ legacy entry points all compile to jobs and route through
 from repro.simulation.budget import SimulationBudget, SimulationPhase
 from repro.simulation.service import (
     BACKENDS,
+    CACHE_FORMAT_VERSION,
     BatchedMNABackend,
     CachingBackend,
     ReferenceScalarBackend,
     ShardedDispatcher,
+    SimFuture,
     SimJob,
     SimResult,
     SimulationBackend,
@@ -45,6 +57,7 @@ from repro.simulation.service import (
     available_backends,
     resolve_backend,
 )
+from repro.simulation.sharding import ShardHandle, WorkerPool
 from repro.simulation.ngspice import (  # registers the "ngspice" backend
     NgspiceBackend,
     NgspiceError,
@@ -59,6 +72,10 @@ __all__ = [
     "SimulationRecord",
     "SimJob",
     "SimResult",
+    "SimFuture",
+    "ShardHandle",
+    "WorkerPool",
+    "CACHE_FORMAT_VERSION",
     "SimulationBackend",
     "SimulationService",
     "BatchedMNABackend",

@@ -66,6 +66,14 @@ class SimulationBudget:
         simulation service uses this for cache hits and retried shards, so
         re-submitting the identical job can never inflate the paper's
         "# Simulation" column.  Returns True when the charge was counted.
+
+        The async service path preserves these semantics by deferring the
+        charge to *future resolution* (:meth:`SimFuture.result`): charges
+        always land in resolution order on the resolving thread, in-flight
+        speculative work is never counted until (unless) it is resolved,
+        and a cancelled future never touches the budget at all.  The
+        budget therefore needs no locking — it is only ever mutated from
+        the control-loop thread.
         """
         if count < 0:
             raise ValueError("count must be non-negative")

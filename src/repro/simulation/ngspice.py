@@ -244,6 +244,39 @@ class NgspiceBackend(SimulationBackend):
             if payload_aware is None
             else bool(payload_aware)
         )
+        # Constructor-configured instances cannot be rebuilt by name inside
+        # a worker (the zero-argument rebuild reads only the environment),
+        # so they must not shard — see `worker_reconstructible`.
+        self._env_configured = (
+            executable is None
+            and strict is None
+            and payload_aware is None
+            and timeout == DEFAULT_TIMEOUT
+        )
+
+    @property
+    def worker_reconstructible(self) -> bool:
+        """Only an env-configured instance survives the by-name rebuild
+        inside pool workers; explicit constructor configuration (a custom
+        executable, timeout, strictness or payload-awareness) would be
+        silently dropped there, so such instances refuse to shard and run
+        their rows in-process instead."""
+        return self._env_configured
+
+    @property
+    def row_parallel(self) -> bool:
+        """Whether each batch row is an individually expensive subprocess.
+
+        For real (non-payload-aware) engines every row is its own deck and
+        its own ngspice invocation, so the sharded dispatcher fans *any*
+        multi-row job out across the service's warm worker pool — one row
+        per worker if there are enough workers — instead of looping the
+        rows serially in one process (see
+        :func:`repro.simulation.sharding.shardable`).  Payload-aware
+        executables evaluate the whole batch from one deck in one
+        subprocess, so the normal rows-per-worker threshold applies.
+        """
+        return not self.payload_aware
 
     def compile(self, circuit: AnalogCircuit, job: SimJob) -> Deck:
         """The deck this backend would run for ``job`` (exposed for tests,

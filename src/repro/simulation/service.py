@@ -20,18 +20,45 @@ call:
   (an ngspice adapter, a remote worker pool) plug in here without touching
   the control loop.
 * :class:`CachingBackend` — a decorator backend memoizing results by job
-  hash; a hit costs zero budget (configurable on the service).
+  hash; a hit costs zero budget (configurable on the service).  With a
+  ``spill_dir`` it also persists result blocks to an on-disk store keyed by
+  the same hash, so repeated experiment sweeps replay across processes.
 * :class:`ShardedDispatcher` — a decorator backend splitting any job's
   batch axis — mismatch rows, corner rows *and* design rows alike — across
-  the process pool in :mod:`repro.simulation.sharding`.
-* :class:`SimulationService` — owns the circuit, the budget and the backend
-  chain; ``service.run(job)`` is the one call everything routes through.
+  the persistent warm :class:`~repro.simulation.sharding.WorkerPool` owned
+  by the service.
+* :class:`SimulationService` — owns the circuit, the budget, the backend
+  chain and the worker pool; ``service.run(job)`` is the one synchronous
+  call everything routes through, and ``service.submit(job)`` is its
+  futures-based twin (see below).
 
 Budget accounting is charged at the service, not in the backends, so cache
 hits and retried shards can never inflate the paper's "# Simulation"
 column (see :meth:`repro.simulation.budget.SimulationBudget.charge`), and a
 backend failure *refunds* the charge — a job that never produced metrics is
 never counted (see :meth:`SimulationService.run`).
+
+Async execution path
+--------------------
+``service.submit(job)`` returns a :class:`SimFuture` immediately.  When the
+job shards across the service's worker pool, its shards are dispatched
+right away and evaluate in the background; otherwise the evaluation is
+deferred into the future itself (lazy thunk) and runs when the caller
+resolves it.  *All* budget accounting — the charge, the idempotency key,
+the failure refund and the cache store — happens at **resolution time**
+(:meth:`SimFuture.result`), in the caller's thread, in resolution order:
+
+* resolving futures in submission order reproduces the synchronous
+  schedule's budget trajectory exactly (same totals, same
+  ``max_simulations`` abort point, same idempotency keys);
+* a future that is *cancelled* (or simply never resolved) charges nothing
+  and stores nothing — which is what makes speculative double-buffered
+  submission safe: work the sequential schedule would never have issued is
+  never accounted, and with the lazy thunk it is never even evaluated.
+
+The control loop uses this for pipelining (``core/verification.py``
+double-buffers full-MC chunks; the optimizer seed phase overlaps its
+corner mega-batches) with bit-identical results, streams and budgets.
 
 Writing a backend
 -----------------
@@ -71,14 +98,24 @@ external-process example.
 from __future__ import annotations
 
 import hashlib
+import os
+import tempfile
+import threading
+import zipfile
+from collections import deque
+from concurrent.futures import CancelledError
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.circuits.base import AnalogCircuit
 from repro.simulation.budget import SimulationBudget, SimulationPhase
-from repro.simulation.sharding import run_job_sharded
+from repro.simulation.sharding import (
+    ShardHandle,
+    WorkerPool,
+    dispatch_job_sharded,
+)
 from repro.variation.corners import CornerBatch, PVTCorner
 
 
@@ -376,6 +413,21 @@ class SimulationBackend:
     #: process boundary themselves).
     name: str = ""
 
+    @property
+    def worker_reconstructible(self) -> bool:
+        """Whether ``BACKENDS[self.name]()`` inside a worker process
+        rebuilds an instance equivalent to this one.
+
+        True by default (terminal backends pull configuration from the
+        environment, per the backend contract).  Backends configured
+        through *constructor arguments* the zero-argument rebuild cannot
+        reproduce — e.g. an :class:`~repro.simulation.ngspice.NgspiceBackend`
+        with an explicit executable — must return False so the sharded
+        dispatcher keeps their jobs in-process instead of silently running
+        shards on a differently-configured twin.
+        """
+        return True
+
     def evaluate(
         self, circuit: AnalogCircuit, job: SimJob
     ) -> Dict[str, np.ndarray]:
@@ -483,35 +535,130 @@ def resolve_backend(backend: Union[str, SimulationBackend]) -> SimulationBackend
         ) from None
 
 
+#: On-disk cache layout version: bumped whenever the spilled ``.npz``
+#: payload changes shape, so stale stores from older builds are ignored
+#: (treated as misses) instead of misread.
+CACHE_FORMAT_VERSION = 1
+
+#: Reserved key carrying the format stamp inside each spilled ``.npz``.
+_CACHE_VERSION_KEY = "__cache_version__"
+
+
 class CachingBackend(SimulationBackend):
     """Memoizes an inner backend's results by job content hash.
 
     A hit returns copies of the stored metric arrays and marks the result
     ``cached`` so :class:`SimulationService` can charge zero budget for it
-    (the configurable paper-accounting default).  The cache is unbounded —
-    jobs are a few kilobytes of metrics each — and can be dropped with
-    :meth:`clear`.
+    (the configurable paper-accounting default).  The in-memory cache is
+    unbounded — jobs are a few kilobytes of metrics each — and can be
+    dropped with :meth:`clear`.
+
+    With ``spill_dir`` the cache is also **persistent across processes**:
+    every stored block is written to ``spill_dir/<hash[:2]>/<hash>.npz``
+    (atomic ``os.replace`` of a same-directory temp file, stamped with
+    :data:`CACHE_FORMAT_VERSION`), and a memory miss falls back to the disk
+    store before running the inner backend.  Disk loads apply exactly the
+    same admission rule as stores: any block carrying a
+    :data:`~repro.spice.deck.FAILURE_NAN`-tagged row — the signature of a
+    run the engine never produced — is refused and re-simulated, so a stale
+    or tampered spill can never resurrect an infrastructure failure.
+    Repeated experiment sweeps (Table II/III regeneration) with the same
+    ``cache_dir`` therefore replay entirely from disk: zero backend
+    invocations, zero budget charged.
     """
 
-    def __init__(self, inner: SimulationBackend):
+    def __init__(
+        self,
+        inner: SimulationBackend,
+        spill_dir: Optional[str] = None,
+    ):
         self.inner = inner
         self._cache: Dict[str, Dict[str, np.ndarray]] = {}
         self.hits = 0
         self.misses = 0
+        #: Memory misses satisfied by the on-disk store (a subset of hits).
+        self.disk_hits = 0
+        self.spill_dir: Optional[str] = None
+        if spill_dir is not None:
+            self.spill_dir = os.path.abspath(os.fspath(spill_dir))
+            os.makedirs(self.spill_dir, exist_ok=True)
 
     @property
     def name(self) -> str:  # type: ignore[override]
         return f"cache({self.inner.name})"
 
+    # ------------------------------------------------------------------
+    # Disk spill
+    # ------------------------------------------------------------------
+    def _spill_path(self, job_id: str) -> str:
+        assert self.spill_dir is not None
+        return os.path.join(self.spill_dir, job_id[:2], f"{job_id}.npz")
+
+    def _spill(self, job_id: str, metrics: Dict[str, np.ndarray]) -> None:
+        """Atomically persist one admitted block to the on-disk store."""
+        path = self._spill_path(job_id)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        payload = {
+            name: np.asarray(values, dtype=float)
+            for name, values in metrics.items()
+        }
+        payload[_CACHE_VERSION_KEY] = np.array(CACHE_FORMAT_VERSION)
+        # Same-directory temp file + os.replace: a concurrent reader only
+        # ever sees a complete record, and a crash leaves no partial file
+        # under the final name.
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **payload)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def _load_spilled(self, job: SimJob) -> Optional[Dict[str, np.ndarray]]:
+        """One block from the disk store, or ``None`` (miss / stale /
+        corrupt / failure-tagged — all treated as plain misses)."""
+        if self.spill_dir is None:
+            return None
+        try:
+            with np.load(self._spill_path(job.job_id)) as data:
+                if _CACHE_VERSION_KEY not in data.files:
+                    return None
+                if int(data[_CACHE_VERSION_KEY][()]) != CACHE_FORMAT_VERSION:
+                    return None
+                metrics = {
+                    name: np.array(data[name], dtype=float)
+                    for name in data.files
+                    if name != _CACHE_VERSION_KEY
+                }
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+            return None
+        if not metrics or failed_row_mask(metrics).any():
+            return None
+        return metrics
+
+    # ------------------------------------------------------------------
     def lookup(self, job: SimJob) -> Optional[Dict[str, np.ndarray]]:
         """Copies of the stored metrics for ``job``, or ``None`` on a miss.
 
         Counts the hit/miss either way; the service probes the cache
         *before* charging the budget so the legacy charge-before-evaluate
         order (``max_simulations`` raises before any work happens) is
-        preserved on misses.
+        preserved on misses.  A memory miss consults the on-disk store
+        (when configured) and promotes a disk hit into memory.
         """
         stored = self._cache.get(job.job_id)
+        if stored is None:
+            stored = self._load_spilled(job)
+            if stored is not None:
+                self._cache[job.job_id] = {
+                    name: values.copy() for name, values in stored.items()
+                }
+                self.disk_hits += 1
         if stored is None:
             self.misses += 1
             return None
@@ -529,6 +676,8 @@ class CachingBackend(SimulationBackend):
         self._cache[job.job_id] = {
             name: values.copy() for name, values in metrics.items()
         }
+        if self.spill_dir is not None:
+            self._spill(job.job_id, metrics)
 
     def run(self, circuit: AnalogCircuit, job: SimJob) -> SimResult:
         metrics = self.lookup(job)
@@ -557,32 +706,213 @@ class CachingBackend(SimulationBackend):
 
 
 class ShardedDispatcher(SimulationBackend):
-    """Splits a job's batch axis across the process pool.
+    """Splits a job's batch axis across a persistent worker pool.
 
     Works uniformly for every axis — mismatch rows, corner rows and design
-    rows alike (closing the ROADMAP "design-axis sharding" item) — by
-    slicing the :class:`SimJob` itself into shard jobs and evaluating each
-    on a worker-side copy of the terminal backend.  Falls back to the
-    in-process evaluation whenever sharding is not applicable (small batch,
-    unregistered circuit, non-reconstructible backend); results are
-    concatenated in row order and are bit-identical either way.
+    rows alike — by slicing the :class:`SimJob` itself into shard jobs and
+    evaluating each on a worker-side copy of the terminal backend.  Falls
+    back to the in-process evaluation whenever sharding is not applicable
+    (small batch, unregistered circuit, non-reconstructible backend, closed
+    pool); results are concatenated in row order and are bit-identical
+    either way.
+
+    The pool is normally created — eagerly, warm — and owned by the
+    :class:`SimulationService`; a dispatcher constructed without one builds
+    its own lazily on first use (and is then responsible for it via
+    :meth:`close`, with the interpreter-exit sweep as the backstop).
+    :meth:`dispatch` is the non-blocking entry point: it returns a
+    :class:`~repro.simulation.sharding.ShardHandle` with the shards already
+    in flight, which is what :meth:`SimulationService.submit` pipelines on.
     """
 
-    def __init__(self, inner: SimulationBackend, workers: int):
+    def __init__(
+        self,
+        inner: SimulationBackend,
+        workers: int,
+        pool: Optional[WorkerPool] = None,
+    ):
         self.inner = inner
         self.workers = max(1, int(workers))
+        self._pool = pool
+        self._owns_pool = pool is None
+        self._released = False
 
     @property
     def name(self) -> str:  # type: ignore[override]
         return f"sharded({self.inner.name}, workers={self.workers})"
 
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The pool shards run on (lazily created when self-owned)."""
+        if (
+            self._pool is None
+            and self._owns_pool
+            and not self._released
+            and self.workers > 1
+        ):
+            self._pool = WorkerPool(
+                self.workers, backend_names=(self.inner.name,), eager=False
+            )
+        return self._pool
+
+    def dispatch(
+        self, circuit: AnalogCircuit, job: SimJob
+    ) -> Optional[ShardHandle]:
+        """Submit the job's shards without blocking (``None`` = not
+        shardable; the caller evaluates in-process instead)."""
+        return dispatch_job_sharded(circuit, self.inner, job, self.pool)
+
     def evaluate(
         self, circuit: AnalogCircuit, job: SimJob
     ) -> Dict[str, np.ndarray]:
-        sharded = run_job_sharded(circuit, self.inner, job, self.workers)
-        if sharded is not None:
-            return sharded
+        handle = self.dispatch(circuit, job)
+        if handle is not None:
+            return handle.result()
         return self.inner.evaluate(circuit, job)
+
+    def close(self) -> None:
+        """Shut down a self-owned pool (service-owned pools are closed by
+        the service)."""
+        self._released = True
+        if self._owns_pool and self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+# ----------------------------------------------------------------------
+# Futures
+# ----------------------------------------------------------------------
+class SimFuture:
+    """One in-flight :class:`SimJob`; budget accounting at resolution.
+
+    Produced by :meth:`SimulationService.submit`.  The underlying work is
+    either a pool-backed :class:`~repro.simulation.sharding.ShardHandle`
+    (shards already evaluating in the background) or a lazy thunk (the
+    in-process evaluation, deferred until resolution — so a cancelled or
+    abandoned future costs nothing at all).
+
+    :meth:`result` performs the *entire* service-side accounting exactly
+    once — cache-hit charge, budget charge with the idempotency key,
+    failure refund, cache store — and memoizes the outcome, so repeated
+    calls return the same :class:`SimResult` (or re-raise the same error)
+    without double-charging.  Resolving futures in submission order
+    therefore reproduces the synchronous schedule's budget trajectory
+    bit-for-bit.
+
+    :meth:`cancel` abandons the future: queued pool shards are cancelled,
+    running ones finish but their results are dropped, a lazy thunk is
+    never invoked — and nothing is ever charged or cached.  This is the
+    discard path for speculative double-buffered submission.
+    """
+
+    def __init__(
+        self,
+        service: "SimulationService",
+        job: SimJob,
+        outcome: Callable[[], Dict[str, np.ndarray]],
+        cached_metrics: Optional[Dict[str, np.ndarray]] = None,
+        handle: Optional[ShardHandle] = None,
+    ):
+        self._service = service
+        self.job = job
+        self._outcome = outcome
+        self._cached_metrics = cached_metrics
+        self._handle = handle
+        self._lock = threading.Lock()
+        self._resolved = False
+        self._cancelled = False
+        self._result: Optional[SimResult] = None
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def cached(self) -> bool:
+        """Whether the job was satisfied by the cache at submission."""
+        return self._cached_metrics is not None
+
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def done(self) -> bool:
+        """Whether :meth:`result` would return without blocking."""
+        if self._resolved or self._cancelled:
+            return True
+        if self._cached_metrics is not None:
+            return True
+        if self._handle is not None:
+            return self._handle.done()
+        # Lazy thunk: evaluation happens inside result(), so it is always
+        # "ready" in the sense that nothing external is pending.
+        return True
+
+    def cancel(self) -> bool:
+        """Abandon the future (no charge, no cache store, work dropped).
+
+        Returns ``False`` when the future was already resolved — a
+        resolved job has been accounted and cannot be un-issued.
+        """
+        with self._lock:
+            if self._resolved:
+                return False
+            if not self._cancelled:
+                self._cancelled = True
+                if self._handle is not None:
+                    self._handle.cancel()
+            return True
+
+    def result(self) -> SimResult:
+        """Resolve the job: wait for the work and run the accounting.
+
+        Single-shot and memoized: the first call charges (idempotently),
+        refunds on failure and stores to the cache; every later call
+        replays the same outcome with no further accounting.
+        """
+        with self._lock:
+            if self._cancelled:
+                raise CancelledError(
+                    f"SimFuture for job {self.job.job_id[:12]} was cancelled"
+                )
+            if not self._resolved:
+                try:
+                    self._result = self._service._resolve(self)
+                except BaseException as error:
+                    self._error = error
+                    raise
+                finally:
+                    self._resolved = True
+            if self._error is not None:
+                raise self._error
+            return self._result
+
+
+def iter_resolved(items: Sequence, submit: Callable, ahead: int = 1):
+    """Pipelined submit-ahead/resolve-in-order over ``items``.
+
+    The one shared implementation of the control loop's double-buffering
+    invariant: ``submit(item)`` is called in item order with up to
+    ``ahead`` speculative submissions in flight beyond the one being
+    resolved, results are yielded as ``(item, result)`` strictly in item
+    order (so resolution-time budget accounting replays the sequential
+    trajectory), and closing the generator — a consumer aborting out of
+    its loop, or an exception during resolution — cancels every future
+    still pending, so speculative work is never charged.  ``submit`` may
+    return ``None`` for an empty request; it is yielded through as
+    ``None`` and never resolved or cancelled.
+    """
+    pending: deque = deque()
+    index = 0
+    try:
+        while pending or index < len(items):
+            while index < len(items) and len(pending) <= ahead:
+                pending.append((items[index], submit(items[index])))
+                index += 1
+            item, future = pending.popleft()
+            yield item, (None if future is None else future.result())
+    finally:
+        while pending:
+            _, future = pending.popleft()
+            if future is not None:
+                future.cancel()
 
 
 # ----------------------------------------------------------------------
@@ -601,6 +931,16 @@ class SimulationService:
     * with ``idempotent_charges=True`` the charge is keyed by the job's
       content hash, so resubmitting the identical job (a retry) can never
       double-charge (:meth:`SimulationBudget.charge`).
+
+    With ``workers > 1`` the service owns a persistent
+    :class:`~repro.simulation.sharding.WorkerPool`, constructed **eagerly
+    and warm** (workers pre-import the backend modules, pre-build the
+    registry circuit and pin their BLAS thread count) so the first sharded
+    job pays no spin-up.  The pool — and with it every OS resource the
+    service holds — is released by :meth:`close`; the service is a context
+    manager, and leaked pools are swept at interpreter exit as a backstop.
+    A ``cache_dir`` turns on caching with cross-process persistence
+    (:class:`CachingBackend` ``spill_dir``).
     """
 
     def __init__(
@@ -612,19 +952,33 @@ class SimulationService:
         cache: bool = False,
         charge_cache_hits: bool = False,
         idempotent_charges: bool = False,
+        cache_dir: Optional[str] = None,
+        warm_pool: bool = True,
     ):
         self._circuit = circuit
         self._budget = budget if budget is not None else SimulationBudget()
         self._workers = max(1, int(workers))
         self._terminal = resolve_backend(backend)
         self._dispatch: SimulationBackend = self._terminal
+        self._pool: Optional[WorkerPool] = None
         if self._workers > 1:
-            self._dispatch = ShardedDispatcher(self._terminal, self._workers)
+            self._pool = WorkerPool(
+                self._workers,
+                circuit_names=(circuit.name,),
+                backend_names=(self._terminal.name,),
+                eager=warm_pool,
+            )
+            self._dispatch = ShardedDispatcher(
+                self._terminal, self._workers, pool=self._pool
+            )
         self._cache: Optional[CachingBackend] = (
-            CachingBackend(self._dispatch) if cache else None
+            CachingBackend(self._dispatch, spill_dir=cache_dir)
+            if cache or cache_dir is not None
+            else None
         )
         self._charge_cache_hits = bool(charge_cache_hits)
         self._idempotent_charges = bool(idempotent_charges)
+        self._closed = False
 
     # ------------------------------------------------------------------
     @property
@@ -657,6 +1011,43 @@ class SimulationService:
     def cache(self) -> Optional[CachingBackend]:
         """The cache decorator when enabled, else ``None``."""
         return self._cache
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The service-owned warm worker pool (``None`` for ``workers=1``)."""
+        return self._pool
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool (idempotent).
+
+        A closed service keeps working — jobs simply evaluate in-process —
+        so late stragglers (result building, report generation) never
+        crash; but no new pool is ever spawned.  Benchmarks and tests
+        should close services (or use them as context managers) so
+        executors don't accumulate across worker-count changes; the
+        interpreter-exit sweep in :mod:`repro.simulation.sharding` is only
+        the backstop for leaked pools.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown()
+        if isinstance(self._dispatch, ShardedDispatcher):
+            self._dispatch.close()
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _charge(self, job: SimJob, count: int) -> Tuple[bool, Optional[str]]:
@@ -715,3 +1106,80 @@ class SimulationService:
         if self._cache is not None:
             self._cache.store(job, result.metrics)
         return result
+
+    # ------------------------------------------------------------------
+    # Async path
+    # ------------------------------------------------------------------
+    def submit(self, job: SimJob) -> SimFuture:
+        """Start one job and return a :class:`SimFuture` immediately.
+
+        When the job shards across the service's warm pool, its shards are
+        dispatched *now* and evaluate in the background; otherwise the
+        in-process evaluation is deferred into the future (lazy thunk) and
+        runs when — and only if — the future is resolved.  A cache hit is
+        recognised at submission (no work is dispatched) but, like all
+        accounting, charged at resolution.
+
+        The accounting contract lives on :meth:`SimFuture.result`:
+        resolving futures in submission order reproduces the synchronous
+        :meth:`run` schedule's budget trajectory exactly, and a future
+        cancelled before resolution charges nothing.  One deliberate
+        divergence from :meth:`run`: pool shards are dispatched *before*
+        the budget charge (that is the point of the async path), so an
+        over-cap resolution aborts with work already spent — the
+        accounting is still identical, only wasted wall-clock differs.
+        """
+        if job.circuit_name != self._circuit.name:
+            raise ValueError(
+                f"job targets circuit {job.circuit_name!r} but this service "
+                f"simulates {self._circuit.name!r}"
+            )
+        if self._cache is not None:
+            metrics = self._cache.lookup(job)
+            if metrics is not None:
+                return SimFuture(
+                    self, job, outcome=lambda: metrics, cached_metrics=metrics
+                )
+        handle: Optional[ShardHandle] = None
+        if isinstance(self._dispatch, ShardedDispatcher):
+            handle = self._dispatch.dispatch(self._circuit, job)
+        if handle is not None:
+            return SimFuture(self, job, outcome=handle.result, handle=handle)
+        return SimFuture(
+            self,
+            job,
+            outcome=lambda: self._dispatch.evaluate(self._circuit, job),
+        )
+
+    def _resolve(self, future: SimFuture) -> SimResult:
+        """Resolution-time accounting for one future (single caller:
+        :meth:`SimFuture.result`).  Mirrors :meth:`run` step for step:
+        cache hits charge zero (or ``job.cost`` under
+        ``charge_cache_hits``), real runs charge before the outcome is
+        inspected, a raising outcome or an all-failure block refunds, and
+        admitted metrics are stored to the cache."""
+        job = future.job
+        if future._cached_metrics is not None:
+            self._budget.charge(
+                job.phase, job.cost if self._charge_cache_hits else 0
+            )
+            return SimResult(
+                job=job,
+                metrics=future._cached_metrics,
+                cached=True,
+                backend=self._cache.name if self._cache is not None else "",
+            )
+        counted, job_id = self._charge(job, job.cost)
+        try:
+            metrics = future._outcome()
+        except BaseException:
+            if counted:
+                self._budget.refund(job.phase, job.cost, job_id=job_id)
+            raise
+        if counted and is_failure_block(metrics):
+            self._budget.refund(job.phase, job.cost, job_id=job_id)
+        if self._cache is not None:
+            self._cache.store(job, metrics)
+        return SimResult(
+            job=job, metrics=metrics, cached=False, backend=self._dispatch.name
+        )

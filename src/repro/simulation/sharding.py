@@ -1,4 +1,4 @@
-"""Opt-in multiprocessing sharding of a job's batch axis.
+"""Persistent warm worker pools and job-axis sharding.
 
 The batched backends vectorize within one process; this module shards the
 row axis of one :class:`~repro.simulation.service.SimJob` across a
@@ -6,9 +6,28 @@ row axis of one :class:`~repro.simulation.service.SimJob` across a
 with ``workers > 1`` — modelling the paper's 3-way / 30-way simulation
 parallelism with real OS-level concurrency.  Because the *job* is what gets
 sliced, every batch axis shards the same way: mismatch rows, corner rows
-and design rows alike (the ROADMAP "design-axis sharding" item).
+and design rows alike.
 
-Design constraints:
+Two things changed with the async service redesign:
+
+* **Pools are persistent, warm and owned.**  :class:`WorkerPool` wraps one
+  executor whose workers are spawned *eagerly at construction* and warmed
+  by an initializer that pins the BLAS thread count to one
+  (``OMP_NUM_THREADS=1`` etc., so B-axis shards never oversubscribe cores),
+  pre-imports the backend modules and pre-builds the registry circuits the
+  pool will evaluate — the per-interpreter circuit rebuild that used to
+  land on the first sharded job now happens before any job is submitted.
+  Pools are owned by a :class:`~repro.simulation.service.SimulationService`
+  (``service.close()`` / the context-manager protocol shuts them down) and
+  every live pool is registered for interpreter-exit cleanup, fixing the
+  executor leak of the old module-level per-worker-count cache.
+* **Dispatch can be non-blocking.**  :func:`dispatch_job_sharded` submits a
+  job's shards and returns a :class:`ShardHandle` immediately; the caller
+  assembles the concatenated metrics block later (or cancels the handle to
+  abandon speculative work).  :func:`run_job_sharded` remains the blocking
+  convenience wrapper.
+
+Design constraints (unchanged):
 
 * **Seeded-stream identical** — sampling happens *before* a job is built
   (evaluation consumes no randomness), and shard results are concatenated
@@ -21,15 +40,16 @@ Design constraints:
   own instances for the life of the process.  Jobs whose circuit is not
   registered (or whose backend is not a named terminal backend) silently
   run single-process.
-* **Lazy pools** — one executor per worker count, created on first use and
-  shut down at interpreter exit.
 """
 
 from __future__ import annotations
 
 import atexit
-from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Dict, Optional
+import multiprocessing
+import os
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,29 +59,109 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.simulation.service import SimJob, SimulationBackend
 
 #: Shard only batches at least this many times the worker count; smaller
-#: batches are not worth the serialization round trip.
+#: batches are not worth the serialization round trip.  Backends that
+#: declare ``row_parallel = True`` (one expensive external-simulator
+#: subprocess per row, e.g. the non-payload-aware ngspice path) opt into a
+#: floor of one row per worker instead: any multi-row job fans its rows out
+#: across the pool rather than running them serially in one process.
 MIN_ROWS_PER_WORKER = 2
 
-_EXECUTORS: Dict[int, ProcessPoolExecutor] = {}
+#: Environment variables pinned to ``1`` inside every pool worker so a
+#: B-axis shard never spawns a BLAS thread team of its own — ``workers``
+#: processes × ``cores`` BLAS threads oversubscribes the machine and runs
+#: *slower* than single-process.  Set in the worker initializer (effective
+#: for libraries that read them lazily) and best-effort enforced through
+#: ``threadpoolctl`` when it is installed (required for fork-started
+#: workers whose BLAS was already initialized in the parent).
+BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+#: How long an eagerly spawned worker waits for its siblings before giving
+#: up on the all-workers-up barrier (the pool still works; it is merely
+#: less uniformly warm).
+WARM_BARRIER_TIMEOUT = 10.0
 
 # Per-worker-process caches, keyed by registry name.
 _WORKER_CIRCUITS: Dict[str, AnalogCircuit] = {}
 _WORKER_BACKENDS: Dict[str, "SimulationBackend"] = {}
 
+# Keeps the threadpoolctl limiter alive for the worker's lifetime.
+_WORKER_BLAS_LIMITER = None
 
-def _executor(workers: int) -> ProcessPoolExecutor:
-    pool = _EXECUTORS.get(workers)
-    if pool is None:
-        pool = ProcessPoolExecutor(max_workers=workers)
-        _EXECUTORS[workers] = pool
-    return pool
+#: Every live pool, for interpreter-exit cleanup.  A WeakSet, so explicit
+#: ``close()`` (or garbage collection) drops the reference and the atexit
+#: sweep only touches pools that were genuinely leaked.
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
 
 
 @atexit.register
-def _shutdown_executors() -> None:  # pragma: no cover - interpreter teardown
-    for pool in _EXECUTORS.values():
-        pool.shutdown(wait=False, cancel_futures=True)
-    _EXECUTORS.clear()
+def _shutdown_live_pools() -> None:  # pragma: no cover - interpreter teardown
+    for pool in list(_LIVE_POOLS):
+        pool.shutdown(wait=False)
+
+
+def _pin_blas_threads() -> None:
+    """Pin this process's BLAS/OpenMP thread pools to a single thread."""
+    global _WORKER_BLAS_LIMITER
+    for name in BLAS_ENV_VARS:
+        os.environ[name] = "1"
+    try:  # pragma: no cover - optional dependency
+        import threadpoolctl
+
+        _WORKER_BLAS_LIMITER = threadpoolctl.threadpool_limits(limits=1)
+    except ImportError:
+        pass
+
+
+def _warm_worker(
+    circuit_names: Tuple[str, ...],
+    backend_names: Tuple[str, ...],
+    sparse_threshold: Optional[int],
+    barrier,
+) -> None:
+    """Worker initializer: pin BLAS, pre-import, pre-build, then rendezvous.
+
+    Runs exactly once per worker interpreter.  The imports below register
+    every terminal backend (``repro.simulation`` imports the ngspice module
+    for the side effect) and the circuit/backend pre-builds populate the
+    process-level caches, so the first real shard pays no construction
+    cost.  The parent's resolved dense→sparse factorization threshold is
+    pinned here too: the crossover is *measured* per process
+    (:func:`repro.spice.batched.sparse_auto_size`), and a worker measuring
+    a different value than the parent — BLAS pinned vs not, different
+    load — would pick a different solver path for borderline system sizes
+    and break the bit-identical sharding contract.  The optional barrier
+    forces the executor to actually spawn all of its workers during
+    :class:`WorkerPool` construction instead of lazily on first submit.
+    """
+    _pin_blas_threads()
+    import repro.simulation  # noqa: F401  (registers every terminal backend)
+
+    if sparse_threshold is not None:
+        from repro.spice import batched
+
+        batched._SPARSE_AUTO_SIZE_MEASURED = int(sparse_threshold)
+
+    for name in backend_names:
+        try:
+            _worker_backend(name)
+        except KeyError:  # pragma: no cover - unregistered custom backend
+            pass
+    for name in circuit_names:
+        try:
+            _worker_circuit(name)
+        except (KeyError, ValueError):  # pragma: no cover - unregistered
+            pass
+    if barrier is not None:
+        try:
+            barrier.wait(timeout=WARM_BARRIER_TIMEOUT)
+        except Exception:  # pragma: no cover - best-effort rendezvous
+            pass
 
 
 def _worker_circuit(name: str) -> AnalogCircuit:
@@ -92,6 +192,141 @@ def _evaluate_job_shard(
     return _worker_backend(backend_name).evaluate(circuit, job)
 
 
+def _noop() -> None:
+    """Warm-up task: its only job is forcing a worker to spawn."""
+
+
+class WorkerPool:
+    """A persistent, warm, explicitly owned process pool.
+
+    Parameters
+    ----------
+    workers:
+        Process count.
+    circuit_names / backend_names:
+        Registry names pre-built inside every worker by the initializer, so
+        the first sharded job finds its circuit and backend already
+        constructed (the old lazy pools rebuilt circuits per interpreter on
+        the first shard they received).
+    eager:
+        Spawn and warm every worker at construction.  Under the ``fork``
+        start method a barrier guarantees all ``workers`` processes come up
+        before the constructor returns; other start methods fall back to a
+        best-effort warm-up (synchronization primitives cannot be pickled
+        to spawned children).
+
+    The pool registers itself for interpreter-exit shutdown, but callers
+    should prefer the explicit lifecycle — ``pool.shutdown()``, the context
+    manager, or the owning service's ``close()`` — so executors never
+    accumulate across worker-count changes.
+
+    Ownership trade-off: pools are per-service (a multi-seed sweep spawns
+    and releases one pool per seed) rather than process-cached like the
+    old module-level executors.  Under the ``fork`` start method a warm
+    spawn costs tens of milliseconds — noise against a seed run — and in
+    exchange no executor can ever outlive its owner unnoticed.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        circuit_names: Sequence[str] = (),
+        backend_names: Sequence[str] = (),
+        eager: bool = True,
+    ):
+        self.workers = max(1, int(workers))
+        self._closed = False
+        barrier = None
+        if eager and multiprocessing.get_start_method(allow_none=False) == "fork":
+            barrier = multiprocessing.get_context("fork").Barrier(self.workers)
+        # Resolve the dense→sparse crossover in the parent (one-shot,
+        # env-overridable) and ship it to every worker: parent and shards
+        # must agree on the solver path bit for bit.
+        from repro.spice.batched import sparse_auto_size
+
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_warm_worker,
+            initargs=(
+                tuple(circuit_names),
+                tuple(backend_names),
+                sparse_auto_size(),
+                barrier,
+            ),
+        )
+        # Register for the interpreter-exit sweep *before* the warm-up:
+        # a warm-up failure (worker died, timeout on a loaded machine)
+        # must not leak the already-spawned executor.
+        _LIVE_POOLS.add(self)
+        if eager:
+            # One no-op per worker: each submit sees no idle worker (the
+            # previous ones are blocked on the barrier inside the
+            # initializer) and forces a fresh spawn, so all `workers`
+            # interpreters exist — warm — before any real job arrives.
+            try:
+                for future in [
+                    self._executor.submit(_noop) for _ in range(self.workers)
+                ]:
+                    future.result(timeout=WARM_BARRIER_TIMEOUT + 30.0)
+            except BaseException:
+                self.shutdown(wait=False)
+                raise
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, fn, /, *args) -> Future:
+        if self._closed:
+            raise RuntimeError("cannot submit to a closed WorkerPool")
+        return self._executor.submit(fn, *args)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Idempotent shutdown; cancels work that has not started."""
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE_POOLS.discard(self)
+        self._executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class ShardHandle:
+    """An in-flight sharded evaluation: shard futures plus assembly.
+
+    ``result()`` blocks until every shard finishes and concatenates the
+    metric blocks in shard (= row) order — bit-identical to the in-process
+    evaluation.  ``cancel()`` abandons the handle: shards that have not
+    started are cancelled outright, already-running shards finish in the
+    pool but their results are dropped.  The service never charges budget
+    for a cancelled handle, which is what makes speculative double-buffered
+    submission safe.
+    """
+
+    def __init__(self, futures: List[Future]):
+        self._futures = futures
+
+    def done(self) -> bool:
+        return all(future.done() for future in self._futures)
+
+    def cancel(self) -> None:
+        for future in self._futures:
+            future.cancel()
+
+    def result(self, timeout: Optional[float] = None) -> Dict[str, np.ndarray]:
+        results = [future.result(timeout) for future in self._futures]
+        return {
+            metric: np.concatenate([result[metric] for result in results])
+            for metric in results[0]
+        }
+
+
 def _registered_circuit(circuit: AnalogCircuit) -> bool:
     """True when the circuit's registry name rebuilds this exact class."""
     from repro.circuits.registry import registered_class
@@ -105,47 +340,67 @@ def shardable(
     workers: int,
     batch: int,
 ) -> bool:
-    """True when a batch of this size is worth splitting across workers."""
+    """True when a batch of this size is worth splitting across workers.
+
+    Backends whose rows are individually expensive (``row_parallel = True``,
+    e.g. one external-simulator subprocess per row) shard any multi-row
+    batch; in-process backends require :data:`MIN_ROWS_PER_WORKER` rows per
+    worker before the serialization round trip pays off.
+    """
     from repro.simulation.service import BACKENDS
 
+    if workers <= 1:
+        return False
+    if getattr(backend, "row_parallel", False):
+        enough = batch >= 2  # any multi-row job beats a serial row loop
+    else:
+        enough = batch >= MIN_ROWS_PER_WORKER * workers
     return (
-        workers > 1
-        and batch >= MIN_ROWS_PER_WORKER * workers
+        enough
         and backend.name in BACKENDS
+        and getattr(backend, "worker_reconstructible", True)
         and _registered_circuit(circuit)
     )
 
 
-def run_job_sharded(
+def dispatch_job_sharded(
     circuit: AnalogCircuit,
     backend: "SimulationBackend",
     job: "SimJob",
-    workers: int,
-) -> Optional[Dict[str, np.ndarray]]:
-    """Split one job's row axis across ``workers`` processes.
+    pool: Optional[WorkerPool],
+) -> Optional[ShardHandle]:
+    """Submit one job's row shards to ``pool`` without blocking.
 
-    Returns the concatenated ``{metric: (B,) array}`` result, or ``None``
-    whenever sharding is not applicable (small batch, unregistered circuit,
-    non-terminal backend) so the caller runs the job in-process instead.
-    Results are concatenated in shard order and are bit-identical to the
-    single-process evaluation.
+    Returns a :class:`ShardHandle`, or ``None`` whenever sharding is not
+    applicable (no pool, small batch, unregistered circuit, non-terminal
+    backend) so the caller evaluates in-process instead.
     """
-    batch = job.batch
-    if not shardable(circuit, backend, workers, batch):
+    if pool is None or pool.closed:
         return None
-
-    bounds = np.linspace(0, batch, workers + 1).astype(int)
+    batch = job.batch
+    if not shardable(circuit, backend, pool.workers, batch):
+        return None
+    shards = min(pool.workers, batch)
+    bounds = np.linspace(0, batch, shards + 1).astype(int)
     futures = []
-    pool = _executor(workers)
-    for shard in range(workers):
+    for shard in range(shards):
         lo, hi = int(bounds[shard]), int(bounds[shard + 1])
         if lo == hi:
             continue
         futures.append(
             pool.submit(_evaluate_job_shard, backend.name, job.shard(lo, hi))
         )
-    results = [future.result() for future in futures]
-    return {
-        metric: np.concatenate([result[metric] for result in results])
-        for metric in results[0]
-    }
+    return ShardHandle(futures)
+
+
+def run_job_sharded(
+    circuit: AnalogCircuit,
+    backend: "SimulationBackend",
+    job: "SimJob",
+    pool: Optional[WorkerPool],
+) -> Optional[Dict[str, np.ndarray]]:
+    """Blocking convenience wrapper around :func:`dispatch_job_sharded`."""
+    handle = dispatch_job_sharded(circuit, backend, job, pool)
+    if handle is None:
+        return None
+    return handle.result()

@@ -33,13 +33,14 @@ New code should prefer the service API directly::
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.circuits.base import AnalogCircuit
 from repro.simulation.budget import SimulationBudget, SimulationPhase
 from repro.simulation.service import (
+    SimFuture,
     SimJob,
     SimulationBackend,
     SimulationRecord,
@@ -48,7 +49,54 @@ from repro.simulation.service import (
 from repro.variation.corners import CornerSet, PVTCorner, typical_corner
 from repro.variation.mismatch import MismatchSet
 
-__all__ = ["CircuitSimulator", "SimulationRecord"]
+__all__ = ["CircuitSimulator", "RecordsFuture", "SimulationRecord"]
+
+
+class RecordsFuture:
+    """A :class:`SimFuture` resolved into simulation-record lists.
+
+    The async twin of the record-list entry points below: ``result()``
+    resolves the underlying future (all budget accounting happens there,
+    see :meth:`SimFuture.result`) and unpacks the metrics tensor into
+    :class:`SimulationRecord` views — grouped per corner when the future
+    came from :meth:`CircuitSimulator.submit_corner_sweep`.  ``cancel()``
+    abandons the job without charging, which is how pipelined consumers
+    discard speculative work after an abort.
+    """
+
+    def __init__(
+        self,
+        future: SimFuture,
+        names: Sequence[str],
+        group_counts: Optional[Sequence[int]] = None,
+    ):
+        self._future = future
+        self._names = tuple(names)
+        self._group_counts = (
+            None if group_counts is None else list(group_counts)
+        )
+
+    @property
+    def future(self) -> SimFuture:
+        """The underlying service future (for budget/cache introspection)."""
+        return self._future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        return self._future.cancel()
+
+    def result(self):
+        records = self._future.result().to_records(self._names)
+        if self._group_counts is None:
+            return records
+        grouped: List[List[SimulationRecord]] = []
+        offset = 0
+        for count in self._group_counts:
+            grouped.append(records[offset : offset + count])
+            offset += count
+        return grouped
 
 
 class CircuitSimulator:
@@ -61,6 +109,7 @@ class CircuitSimulator:
         workers: int = 1,
         backend: Union[str, SimulationBackend] = "batched",
         cache: bool = False,
+        cache_dir: Optional[str] = None,
         service: Optional[SimulationService] = None,
     ):
         if service is None:
@@ -70,6 +119,7 @@ class CircuitSimulator:
                 backend=backend,
                 workers=workers,
                 cache=cache,
+                cache_dir=cache_dir,
             )
         self._service = service
 
@@ -77,6 +127,17 @@ class CircuitSimulator:
     def service(self) -> SimulationService:
         """The underlying simulation service (the one real entry point)."""
         return self._service
+
+    def close(self) -> None:
+        """Release the service's worker pool (see
+        :meth:`SimulationService.close`)."""
+        self._service.close()
+
+    def __enter__(self) -> "CircuitSimulator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def circuit(self) -> AnalogCircuit:
@@ -134,6 +195,31 @@ class CircuitSimulator:
         )
         return self._run(job)
 
+    def submit_mismatch_set(
+        self,
+        x_normalized: np.ndarray,
+        corner: PVTCorner,
+        mismatch_set: MismatchSet,
+        phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
+    ) -> RecordsFuture:
+        """Non-blocking twin of :meth:`simulate_mismatch_set`.
+
+        Returns a :class:`RecordsFuture` with the job dispatched (or
+        deferred — see :meth:`SimulationService.submit`); resolving it in
+        submission order is budget-identical to the blocking call.  The
+        double-buffered verifier keeps one chunk in flight through this.
+        """
+        job = SimJob.conditions(
+            self.circuit.name,
+            x_normalized,
+            (corner,),
+            mismatch_set.samples,
+            phase,
+        )
+        return RecordsFuture(
+            self._service.submit(job), self.circuit.metric_names
+        )
+
     def simulate_corners(
         self,
         x_normalized: np.ndarray,
@@ -159,6 +245,30 @@ class CircuitSimulator:
         )
         return self._run(job)
 
+    def submit_corners(
+        self,
+        x_normalized: np.ndarray,
+        corners: CornerSet,
+        mismatch: Optional[np.ndarray] = None,
+        phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
+    ) -> Optional[RecordsFuture]:
+        """Non-blocking twin of :meth:`simulate_corners` (``None`` for an
+        empty corner set)."""
+        corner_list = tuple(corners)
+        if not corner_list:
+            return None
+        h_matrix = None
+        if mismatch is not None:
+            h_matrix = np.tile(
+                np.asarray(mismatch, dtype=float), (len(corner_list), 1)
+            )
+        job = SimJob.conditions(
+            self.circuit.name, x_normalized, corner_list, h_matrix, phase
+        )
+        return RecordsFuture(
+            self._service.submit(job), self.circuit.metric_names
+        )
+
     def simulate_corner_sweep(
         self,
         x_normalized: np.ndarray,
@@ -176,21 +286,11 @@ class CircuitSimulator:
         corner, in the caller's corner order.  The budget is charged in one
         step for the entire sweep.
         """
-        corner_list = list(corners)
-        if len(corner_list) != len(mismatch_sets):
-            raise ValueError("one mismatch set per corner is required")
-        if not corner_list:
+        job, counts = self._corner_sweep_job(
+            x_normalized, corners, mismatch_sets, phase
+        )
+        if job is None:
             return []
-        counts = [len(mismatch_set) for mismatch_set in mismatch_sets]
-        flat_corners = tuple(
-            corner
-            for corner, count in zip(corner_list, counts)
-            for _ in range(count)
-        )
-        h_matrix = np.vstack([mismatch_set.samples for mismatch_set in mismatch_sets])
-        job = SimJob.conditions(
-            self.circuit.name, x_normalized, flat_corners, h_matrix, phase
-        )
         flat_records = self._run(job)
         grouped: List[List[SimulationRecord]] = []
         offset = 0
@@ -198,6 +298,57 @@ class CircuitSimulator:
             grouped.append(flat_records[offset : offset + count])
             offset += count
         return grouped
+
+    def submit_corner_sweep(
+        self,
+        x_normalized: np.ndarray,
+        corners: Sequence[PVTCorner],
+        mismatch_sets: Sequence[MismatchSet],
+        phase: SimulationPhase = SimulationPhase.OPTIMIZATION,
+    ) -> RecordsFuture:
+        """Non-blocking twin of :meth:`simulate_corner_sweep`.
+
+        The optimizer's seed phase submits seed *i+1*'s sweep while seed
+        *i* is still in flight; resolution (grouped per corner, caller's
+        corner order) is budget-identical to the blocking call.
+        """
+        job, counts = self._corner_sweep_job(
+            x_normalized, corners, mismatch_sets, phase
+        )
+        if job is None:
+            raise ValueError("a corner sweep needs at least one corner")
+        return RecordsFuture(
+            self._service.submit(job),
+            self.circuit.metric_names,
+            group_counts=counts,
+        )
+
+    def _corner_sweep_job(
+        self,
+        x_normalized: np.ndarray,
+        corners: Sequence[PVTCorner],
+        mismatch_sets: Sequence[MismatchSet],
+        phase: SimulationPhase,
+    ) -> Tuple[Optional[SimJob], List[int]]:
+        """The flat ``(sum_i N_i,)`` mega-batch job for a corner sweep."""
+        corner_list = list(corners)
+        if len(corner_list) != len(mismatch_sets):
+            raise ValueError("one mismatch set per corner is required")
+        if not corner_list:
+            return None, []
+        counts = [len(mismatch_set) for mismatch_set in mismatch_sets]
+        flat_corners = tuple(
+            corner
+            for corner, count in zip(corner_list, counts)
+            for _ in range(count)
+        )
+        h_matrix = np.vstack(
+            [mismatch_set.samples for mismatch_set in mismatch_sets]
+        )
+        job = SimJob.conditions(
+            self.circuit.name, x_normalized, flat_corners, h_matrix, phase
+        )
+        return job, counts
 
     def simulate_designs(
         self,

@@ -39,7 +39,9 @@ stack at all.  The dense path remains as a fallback: ``solver="auto"``
 selects SMW only while the update rank (the MOSFET count) stays below
 ``SMW_RANK_LIMIT_FRACTION`` of the system size, and larger netlists can
 factor the static stamp with ``scipy.sparse`` (``sparse_static=True``, or
-automatically above ``SPARSE_AUTO_SIZE`` unknowns).
+automatically above the *measured* dense-vs-splu crossover — a one-shot
+per-process micro-calibration, env-overridable; see
+:func:`sparse_auto_size`).
 
 ``solve_dc_batched`` / ``solve_transient_batched`` are drop-in batched twins
 of :func:`repro.spice.dc.solve_dc` / :func:`repro.spice.transient.solve_transient`;
@@ -91,9 +93,138 @@ REFERENCE_CONDUCTANCE = 1e-3
 SMW_RANK_LIMIT_FRACTION = 0.5
 
 #: ``sparse_static=None`` factorises the static stamp with ``scipy.sparse``
-#: once the MNA system reaches this many unknowns; below it dense LAPACK
-#: factors are faster.
+#: once the MNA system reaches :func:`sparse_auto_size` unknowns; below it
+#: dense LAPACK factors are faster.  This constant is only the *fallback*
+#: threshold, used when the one-shot micro-calibration cannot run (and as
+#: the documentation anchor for its clamp range); the operative value is
+#: measured per process — see :func:`sparse_auto_size`.
 SPARSE_AUTO_SIZE = 256
+
+#: Environment variable pinning the dense→sparse crossover explicitly
+#: (skips the micro-calibration; useful for reproducible CI timings and
+#: for machines whose first-use timing would be noisy).
+SPARSE_AUTO_SIZE_ENV = "REPRO_SPARSE_AUTO_SIZE"
+
+#: Candidate system sizes probed by the crossover calibration, and the
+#: clamp range guarding against a noisy measurement picking an absurd
+#: threshold.
+_SPARSE_PROBE_SIZES = (96, 192, 384, 768)
+_SPARSE_AUTO_MIN, _SPARSE_AUTO_MAX = 64, 4096
+
+# Cached calibration result (one-shot per process).
+_SPARSE_AUTO_SIZE_MEASURED: Optional[int] = None
+
+
+def _mna_like_matrix(size: int, rng: np.random.Generator) -> np.ndarray:
+    """A synthetic matrix with MNA-stamp sparsity: a diagonally dominant
+    tridiagonal core (series element chains) plus a few long-range
+    couplings per row (supply rails, VCCS rows) — roughly the ~5
+    entries/row the real static stamps carry."""
+    matrix = np.zeros((size, size))
+    diag = np.arange(size)
+    matrix[diag, diag] = 4.0
+    off = np.arange(size - 1)
+    matrix[off, off + 1] = -1.0
+    matrix[off + 1, off] = -1.0
+    extras = rng.integers(0, size, size=(size * 2, 2))
+    for row, col in extras:
+        if row != col:
+            matrix[row, col] -= 0.1
+            matrix[row, row] += 0.1
+    return matrix
+
+
+def _calibrate_sparse_crossover() -> int:
+    """Measure the dense-LAPACK vs ``scipy.sparse.splu`` crossover size.
+
+    Times one factorize-plus-solve on MNA-like synthetic stamps at a short
+    ladder of sizes (best of two repetitions each, ~tens of milliseconds
+    total) and returns the smallest probed size where the sparse path
+    wins, clamped to ``[_SPARSE_AUTO_MIN, _SPARSE_AUTO_MAX]``.  If the
+    sparse path never wins within the probe ladder, the crossover is
+    extrapolated one doubling past the largest probe.
+    """
+    import time
+
+    from scipy.linalg import lu_factor, lu_solve
+    from scipy.sparse import csc_matrix
+    from scipy.sparse.linalg import splu
+
+    rng = np.random.default_rng(0)
+    for size in _SPARSE_PROBE_SIZES:
+        matrix = _mna_like_matrix(size, rng)
+        rhs = rng.standard_normal(size)
+        sparse_matrix = csc_matrix(matrix)
+
+        def time_best(callable_, repeats: int = 2) -> float:
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                callable_()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        dense_s = time_best(lambda: lu_solve(lu_factor(matrix), rhs))
+        sparse_s = time_best(lambda: splu(sparse_matrix).solve(rhs))
+        if sparse_s < dense_s:
+            return int(np.clip(size, _SPARSE_AUTO_MIN, _SPARSE_AUTO_MAX))
+    return int(
+        np.clip(2 * _SPARSE_PROBE_SIZES[-1], _SPARSE_AUTO_MIN, _SPARSE_AUTO_MAX)
+    )
+
+
+def sparse_auto_size() -> int:
+    """The dense→sparse static-factorization threshold for this process.
+
+    Resolution order: the :data:`SPARSE_AUTO_SIZE_ENV` environment override
+    (read once, first use), else a one-shot micro-timing calibration of the
+    actual dense-vs-splu crossover on this machine's BLAS stack
+    (:func:`_calibrate_sparse_crossover`), cached for the life of the
+    process.  A calibration failure falls back to the historical
+    :data:`SPARSE_AUTO_SIZE` guess.
+
+    Worker pools ship the *parent's* resolved value into every worker
+    (:mod:`repro.simulation.sharding`), so a sharded evaluation can never
+    pick a different solver path — and therefore different last-bit
+    numerics — than the in-process evaluation it must match bit for bit.
+
+    Trade-off, by design: within one process (and its pools) the
+    threshold is a constant, but two *separate* runs may measure
+    different crossovers under different machine load, and the dense and
+    splu paths agree only to ~1e-9, not bit for bit.  Runs that need
+    bit-exact cross-run reproduction of MNA-netlist results (the paper
+    testbenches are behavioural and unaffected) should pin
+    ``$REPRO_SPARSE_AUTO_SIZE``.
+    """
+    global _SPARSE_AUTO_SIZE_MEASURED
+    if _SPARSE_AUTO_SIZE_MEASURED is None:
+        import os
+        import warnings
+
+        override = os.environ.get(SPARSE_AUTO_SIZE_ENV, "").strip()
+        if override:
+            try:
+                _SPARSE_AUTO_SIZE_MEASURED = max(1, int(override))
+            except ValueError:
+                warnings.warn(
+                    f"ignoring malformed ${SPARSE_AUTO_SIZE_ENV}="
+                    f"{override!r} (expected an integer); falling back to "
+                    f"the measured crossover",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if _SPARSE_AUTO_SIZE_MEASURED is None:
+            try:
+                _SPARSE_AUTO_SIZE_MEASURED = _calibrate_sparse_crossover()
+            except Exception:  # pragma: no cover - scipy edge failure
+                _SPARSE_AUTO_SIZE_MEASURED = SPARSE_AUTO_SIZE
+    return _SPARSE_AUTO_SIZE_MEASURED
+
+
+def _reset_sparse_auto_size() -> None:
+    """Drop the cached calibration (tests re-measure or re-read the env)."""
+    global _SPARSE_AUTO_SIZE_MEASURED
+    _SPARSE_AUTO_SIZE_MEASURED = None
 
 
 @dataclass
@@ -209,7 +340,9 @@ class SMWKernel:
         if self.rank:
             base += REFERENCE_CONDUCTANCE * (update_basis @ update_basis.T)
 
-        self.sparse = bool(size >= SPARSE_AUTO_SIZE if sparse is None else sparse)
+        self.sparse = bool(
+            size >= sparse_auto_size() if sparse is None else sparse
+        )
         if self.sparse:
             from scipy.sparse import csc_matrix
             from scipy.sparse.linalg import splu
@@ -700,8 +833,9 @@ def solve_dc_batched(
     LU-cached Sherman–Morrison–Woodbury path while the MOSFET count stays
     low-rank relative to the system size and falls back to the dense stacked
     solve otherwise; ``"lu"`` / ``"dense"`` force a path.  ``sparse_static``
-    controls the static-stamp factorization (``None`` = dense below
-    ``SPARSE_AUTO_SIZE`` unknowns).  Passing a prebuilt ``stamper`` (from a
+    controls the static-stamp factorization (``None`` = dense below the
+    measured :func:`sparse_auto_size` crossover).  Passing a prebuilt
+    ``stamper`` (from a
     previous call on the same circuit and corner) reuses its cached static
     stamp *and* LU factors across calls.
     """

@@ -137,22 +137,41 @@ def seeded_mismatch(mismatch_sampler):
 # ----------------------------------------------------------------------
 @pytest.fixture
 def service_factory():
-    """Factory: ``service_factory(circuit, **kwargs)`` -> SimulationService."""
+    """Factory: ``service_factory(circuit, **kwargs)`` -> SimulationService.
+
+    Services own their worker pools since the async redesign; the factory
+    closes every service it built at teardown so pools never outlive the
+    test that spawned them.
+    """
+    services = []
 
     def make(circuit, **kwargs) -> SimulationService:
-        return SimulationService(circuit, **kwargs)
+        service = SimulationService(circuit, **kwargs)
+        services.append(service)
+        return service
 
-    return make
+    yield make
+    for service in services:
+        service.close()
 
 
 @pytest.fixture
 def simulator_factory():
-    """Factory: ``simulator_factory(circuit, **kwargs)`` -> CircuitSimulator."""
+    """Factory: ``simulator_factory(circuit, **kwargs)`` -> CircuitSimulator.
+
+    Closes every simulator it built at teardown (releasing the underlying
+    service's worker pool).
+    """
+    simulators = []
 
     def make(circuit, **kwargs) -> CircuitSimulator:
-        return CircuitSimulator(circuit, **kwargs)
+        simulator = CircuitSimulator(circuit, **kwargs)
+        simulators.append(simulator)
+        return simulator
 
-    return make
+    yield make
+    for simulator in simulators:
+        simulator.close()
 
 
 @pytest.fixture

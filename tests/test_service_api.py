@@ -382,9 +382,9 @@ class TestDesignAxisSharding:
             0.2, 0.8, size=(8, strongarm.dimension)
         )
         single = CircuitSimulator(strongarm, workers=1).simulate_designs(designs)
-        sharded_sim = CircuitSimulator(strongarm, workers=2)
-        sharded = sharded_sim.simulate_designs(designs)
-        assert sharded_sim.budget.total == 8
+        with CircuitSimulator(strongarm, workers=2) as sharded_sim:
+            sharded = sharded_sim.simulate_designs(designs)
+            assert sharded_sim.budget.total == 8
         for fast, slow in zip(sharded, single):
             for name in strongarm.metric_names:
                 assert fast.metrics[name] == slow.metrics[name]
