@@ -14,6 +14,16 @@ Examples::
     # What can I name?
     python -m repro --list-circuits
 
+    # Survive flaky engines / dead workers, and checkpoint per-seed
+    # progress so an interrupted sweep resumes without re-simulating.
+    python -m repro --circuit sal --method C-MCL --retries 3 \
+        --checkpoint-dir ./ckpt --cache-dir ./simcache
+
+    # Disk-cache hygiene for long-lived --cache-dir stores.
+    python -m repro cache stats ./simcache
+    python -m repro cache prune ./simcache --max-bytes 500000000
+    python -m repro cache clear ./simcache
+
 The same binary is installed as the ``repro`` console script (setup.py).
 """
 
@@ -132,6 +142,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the paper's full Table-I Monte-Carlo budgets",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        help=(
+            "retry transient simulation failures (worker death, timeouts, "
+            "engine errors, FAILURE_NAN blocks) up to N times per job with "
+            "budget-safe accounting; 0 disables (default: fail fast)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        metavar="SECONDS",
+        help=(
+            "base exponential backoff between retry attempts "
+            "(default: 0.05; deterministic seeded jitter is added)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="PATH",
+        help=(
+            "snapshot each completed seed here; re-running the identical "
+            "config resumes the sweep, replaying completed seeds from disk "
+            "with zero re-simulation"
+        ),
+    )
+    parser.add_argument(
         "--dry-run",
         action="store_true",
         help="print the resolved experiment plan and exit without simulating",
@@ -140,6 +178,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", metavar="PATH", help="write the experiment report JSON here"
     )
     return parser
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description=(
+            "maintenance for the on-disk simulation cache "
+            "(the --cache-dir spill store)"
+        ),
+    )
+    actions = parser.add_subparsers(dest="action", required=True)
+    stats = actions.add_parser(
+        "stats", help="entry count, byte total and age span of the store"
+    )
+    stats.add_argument("cache_dir", metavar="DIR")
+    prune = actions.add_parser(
+        "prune",
+        help=(
+            "evict least-recently-written records until the store fits "
+            "--max-bytes"
+        ),
+    )
+    prune.add_argument("cache_dir", metavar="DIR")
+    prune.add_argument(
+        "--max-bytes", type=int, required=True, metavar="BYTES"
+    )
+    clear = actions.add_parser("clear", help="delete every cached record")
+    clear.add_argument("cache_dir", metavar="DIR")
+    return parser
+
+
+def cache_main(argv: List[str]) -> int:
+    """The ``repro cache {stats,prune,clear}`` maintenance subcommand."""
+    from repro.simulation.service import (
+        clear_spill_store,
+        prune_spill_store,
+        spill_store_stats,
+    )
+
+    args = build_cache_parser().parse_args(argv)
+    if args.action == "stats":
+        stats = spill_store_stats(args.cache_dir)
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    elif args.action == "prune":
+        outcome = prune_spill_store(args.cache_dir, args.max_bytes)
+        print(json.dumps(outcome, indent=2, sort_keys=True))
+    else:
+        removed = clear_spill_store(args.cache_dir)
+        print(json.dumps({"removed_files": removed}, indent=2))
+    return 0
 
 
 def _list_circuits() -> None:
@@ -179,9 +267,22 @@ def _resolve_config(args: argparse.Namespace) -> api.ExperimentConfig:
         "cache_dir": args.cache_dir,
         "pipeline": args.pipeline,
         "paper_scale": args.paper_scale,
+        "checkpoint_dir": args.checkpoint_dir,
     }
     if args.seeds is not None:
         overrides["seeds"] = [int(s) for s in args.seeds.split(",") if s != ""]
+    if args.retries is not None or args.retry_backoff is not None:
+        retry = dict(payload.get("retry") or {})
+        if args.retries is not None:
+            if args.retries == 0:
+                retry = None  # explicit --retries 0 disables a config file's policy
+            else:
+                retry["max_attempts"] = args.retries + 1
+        if retry is not None and args.retry_backoff is not None:
+            retry["backoff"] = args.retry_backoff
+        overrides["retry"] = retry
+        if retry is None:
+            payload["retry"] = None
     payload.update({k: v for k, v in overrides.items() if v is not None})
     return api.ExperimentConfig.from_dict(payload)
 
@@ -212,12 +313,23 @@ def _print_dry_run(config: api.ExperimentConfig) -> None:
         f"(workers={operational.workers}, cache={cache_state}, "
         f"pipeline={'on' if operational.pipeline else 'off'})"
     )
+    if config.retry is not None:
+        attempts = config.retry.get("max_attempts", "?")
+        print(f"Retry policy:         up to {attempts} attempts/job")
+    if config.checkpoint_dir is not None:
+        print(f"Checkpoints:          {config.checkpoint_dir}")
     print(f"Seeds:                {list(config.seeds)}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    # Subcommands are dispatched ahead of the flag parser so the legacy
+    # flag-style interface stays untouched.
+    if arguments and arguments[0] == "cache":
+        return cache_main(arguments[1:])
+
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
 
     if args.list_circuits:
         _list_circuits()

@@ -32,7 +32,10 @@ on PATH) with zero control-loop changes.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -57,7 +60,11 @@ from repro.circuits.registry import (
 from repro.core.config import GlovaConfig, VerificationMethod
 from repro.core.optimizer import GlovaOptimizer
 from repro.core.result import OptimizationResult
-from repro.simulation.service import available_backends
+from repro.simulation.service import (
+    RetryPolicy,
+    available_backends,
+    resolve_retry,
+)
 
 #: Verification scenario labels accepted by :attr:`ExperimentConfig.method`
 #: — derived from the enum so new scenarios are available automatically.
@@ -108,6 +115,19 @@ class ExperimentConfig:
     pipeline: bool = True
     verification_chunk: int = 8
     paper_scale: bool = False
+    #: Fault-tolerance retry policy for the simulation service, stored in
+    #: its JSON dict form (:meth:`RetryPolicy.to_dict`) so the config
+    #: round trip stays lossless; a :class:`RetryPolicy` instance passed
+    #: here is converted.  ``None`` = fail fast (legacy behaviour).
+    retry: Optional[Dict[str, Any]] = field(default=None, hash=False)
+    #: Directory for per-seed progress checkpoints.  When set,
+    #: :func:`run_experiment` snapshots each completed seed (report +
+    #: budget counts) under a config fingerprint, and an interrupted sweep
+    #: resumes by replaying completed seeds from disk — zero
+    #: re-simulation.  The seed boundary is the RNG-safe resume point:
+    #: every seed owns its own seeded streams, so skipping a completed
+    #: seed perturbs no other seed's randomness.
+    checkpoint_dir: Optional[str] = None
     #: Extra :class:`GlovaConfig` field overrides (ablation switches etc.).
     #: Excluded from the generated ``__hash__`` (dicts are unhashable) so
     #: frozen configs remain usable as dict keys.
@@ -116,6 +136,15 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
         object.__setattr__(self, "overrides", dict(self.overrides))
+        if self.retry is not None:
+            # Normalize to the dict form (lossless JSON round trip) and
+            # fail fast on malformed policies.
+            policy = (
+                self.retry
+                if isinstance(self.retry, RetryPolicy)
+                else resolve_retry(dict(self.retry))
+            )
+            object.__setattr__(self, "retry", policy.to_dict())
         if not self.seeds:
             raise ValueError("an experiment needs at least one seed")
         if self.method not in METHODS:
@@ -166,6 +195,7 @@ class ExperimentConfig:
             cache_simulations=self.cache_simulations,
             cache_dir=self.cache_dir,
             pipeline=self.pipeline,
+            retry=self.retry,
         )
         return config.with_overrides(**self.overrides)
 
@@ -238,6 +268,48 @@ class RunReport:
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunReport":
+        unknown = set(payload) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown RunReport fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    def to_result(self) -> OptimizationResult:
+        """Rehydrate an :class:`OptimizationResult` from this report.
+
+        Used when a seed is replayed from a checkpoint: downstream table
+        aggregation works off ``ExperimentReport.results``, so resumed
+        seeds need result objects too.  The per-iteration ``history``
+        trace is not checkpointed and comes back empty — everything a
+        Table-II row consumes survives the round trip.
+        """
+        return OptimizationResult(
+            success=self.success,
+            iterations=self.iterations,
+            simulations=dict(self.simulations),
+            runtime=float(self.runtime),
+            final_design=(
+                None
+                if self.final_design is None
+                else np.asarray(self.final_design, dtype=float)
+            ),
+            final_design_physical=(
+                None
+                if self.final_design_physical is None
+                else np.asarray(self.final_design_physical, dtype=float)
+            ),
+            final_metrics=(
+                None
+                if self.final_metrics is None
+                else dict(self.final_metrics)
+            ),
+            verification_attempts=self.verification_attempts,
+            history=[],
+            method=self.method,
+            circuit=self.circuit,
+        )
+
 
 @dataclass
 class ExperimentReport:
@@ -298,6 +370,108 @@ class ExperimentReport:
 
 
 # ----------------------------------------------------------------------
+# Checkpoint / resume
+# ----------------------------------------------------------------------
+#: Layout version of the per-seed checkpoint records; bumped whenever the
+#: payload changes shape so stale snapshots are ignored, never misread.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Config fields that do not change what one seed computes, and therefore
+#: do not participate in the checkpoint fingerprint: the seed list itself
+#: (each checkpoint is per-seed), and where checkpoints live.
+_FINGERPRINT_EXCLUDED_FIELDS = ("seeds", "checkpoint_dir")
+
+
+def _config_fingerprint(config: ExperimentConfig) -> str:
+    """A content hash of everything that determines one seed's outcome.
+
+    A checkpoint is only replayed when the fingerprint matches — editing
+    any result-bearing field (circuit, method, budgets, backend, retry
+    policy, overrides…) invalidates old snapshots instead of silently
+    serving results computed under a different configuration.
+    """
+    payload = config.to_dict()
+    for excluded in _FINGERPRINT_EXCLUDED_FIELDS:
+        payload.pop(excluded, None)
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _checkpoint_path(
+    checkpoint_dir: str, fingerprint: str, seed: int
+) -> str:
+    return os.path.join(
+        checkpoint_dir, fingerprint[:16], f"seed-{seed}.json"
+    )
+
+
+def load_checkpoint(
+    config: ExperimentConfig, seed: int
+) -> Optional[RunReport]:
+    """The checkpointed report for one seed, or ``None``.
+
+    Anything wrong with the snapshot — missing, unreadable, a format or
+    fingerprint mismatch — is treated as "not checkpointed": the seed
+    simply re-runs.
+    """
+    if config.checkpoint_dir is None:
+        return None
+    path = _checkpoint_path(
+        config.checkpoint_dir, _config_fingerprint(config), seed
+    )
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    try:
+        if payload.get("version") != CHECKPOINT_FORMAT_VERSION:
+            return None
+        if payload.get("fingerprint") != _config_fingerprint(config):
+            return None
+        report = RunReport.from_dict(payload["run"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if report.seed != seed:
+        return None
+    return report
+
+
+def write_checkpoint(
+    config: ExperimentConfig, seed: int, run: RunReport
+) -> str:
+    """Atomically snapshot one completed seed; returns the record path.
+
+    Same-directory temp file + ``os.replace``, like the simulation spill
+    store: an interrupted writer can never leave a half-written record
+    under the final name.
+    """
+    assert config.checkpoint_dir is not None
+    fingerprint = _config_fingerprint(config)
+    path = _checkpoint_path(config.checkpoint_dir, fingerprint, seed)
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    payload = {
+        "version": CHECKPOINT_FORMAT_VERSION,
+        "fingerprint": fingerprint,
+        "config": config.to_dict(),
+        "run": run.to_dict(),
+    }
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 def _run_seed(config: ExperimentConfig, seed: int) -> OptimizationResult:
@@ -313,12 +487,30 @@ def _run_seed(config: ExperimentConfig, seed: int) -> OptimizationResult:
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentReport:
-    """Run ``config.algorithm`` for every seed and aggregate a report."""
-    results = [_run_seed(config, seed) for seed in config.seeds]
-    runs = [
-        RunReport.from_result(seed, result)
-        for seed, result in zip(config.seeds, results)
-    ]
+    """Run ``config.algorithm`` for every seed and aggregate a report.
+
+    With ``checkpoint_dir`` set, every completed seed is snapshotted the
+    moment it finishes, and seeds whose snapshot matches the config
+    fingerprint are **replayed from disk instead of re-simulated** — an
+    interrupted sweep resumed with the identical config reaches the same
+    final report while only simulating the seeds that never completed.
+    Seeds are the RNG-safe resume boundary (each owns its seeded streams),
+    and the content-hash simulation cache (``cache_dir``) covers in-flight
+    work *within* an interrupted seed.
+    """
+    runs: List[RunReport] = []
+    results: List[OptimizationResult] = []
+    for seed in config.seeds:
+        run = load_checkpoint(config, seed)
+        if run is None:
+            result = _run_seed(config, seed)
+            run = RunReport.from_result(seed, result)
+            if config.checkpoint_dir is not None:
+                write_checkpoint(config, seed, run)
+        else:
+            result = run.to_result()
+        runs.append(run)
+        results.append(result)
     return ExperimentReport(config=config, runs=runs, results=results)
 
 

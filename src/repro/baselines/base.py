@@ -60,6 +60,7 @@ class BaselineOptimizer(abc.ABC):
             backend=self.operational.backend,
             cache=self.operational.cache_simulations,
             cache_dir=self.operational.cache_dir,
+            retry=self.operational.retry,
         )
         self.last_worst = LastWorstCaseBuffer(self.operational.corners)
         self.mismatch_sampler = MismatchSampler(

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 from repro.variation.corners import CornerSet, full_corner_set, vt_corner_set
 
@@ -94,6 +94,11 @@ class OperationalConfig:
         its per-seed corner mega-batches.  Metrics, seeded streams and
         budget accounting are bit-identical to the sequential schedule
         (``False`` — the debugging / equivalence reference).
+    retry:
+        Fault-tolerance policy for the simulation service — a
+        :class:`repro.simulation.service.RetryPolicy` or its dict form
+        (resolved by the service).  ``None`` (the default) fails fast, the
+        legacy behaviour.
     """
 
     method: VerificationMethod
@@ -108,6 +113,7 @@ class OperationalConfig:
     cache_simulations: bool = False
     cache_dir: Optional[str] = None
     pipeline: bool = True
+    retry: Optional[Any] = field(default=None, hash=False)
 
     @property
     def total_verification_simulations(self) -> int:
@@ -135,6 +141,7 @@ def operational_config(
     cache_simulations: bool = False,
     cache_dir: Optional[str] = None,
     pipeline: bool = True,
+    retry: Optional[Any] = None,
 ) -> OperationalConfig:
     """Build the Table-I operational configuration for ``method``.
 
@@ -151,6 +158,7 @@ def operational_config(
         cache_simulations=cache_simulations,
         cache_dir=cache_dir,
         pipeline=pipeline,
+        retry=retry,
     )
     if method is VerificationMethod.CORNER:
         return OperationalConfig(
@@ -213,6 +221,11 @@ class GlovaConfig:
     # verification chunks, overlapped seed-phase mega-batches) —
     # bit-identical to the sequential schedule, False = reference path.
     pipeline: bool = True
+    # Fault-tolerance retry policy for the simulation service (a
+    # RetryPolicy or its dict form; None = fail fast, the legacy mode).
+    # Failed attempts are budget-refunded before each retry, so the
+    # paper's "# Simulation" counts stay identical to a fault-free run.
+    retry: Optional[Any] = None
     # --- risk parameters ----------------------------------------------
     risk_beta1: float = -3.0
     reliability_beta2: float = 4.0
@@ -258,6 +271,7 @@ class GlovaConfig:
             cache_simulations=self.cache_simulations,
             cache_dir=self.cache_dir,
             pipeline=self.pipeline,
+            retry=self.retry,
         )
 
     def effective_ensemble_size(self) -> int:

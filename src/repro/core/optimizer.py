@@ -71,6 +71,7 @@ class GlovaOptimizer:
             backend=self.operational.backend,
             cache=self.operational.cache_simulations,
             cache_dir=self.operational.cache_dir,
+            retry=self.operational.retry,
         )
         self.agent = RiskSensitiveAgent(circuit.dimension, self.config, self.rng)
         self.last_worst = LastWorstCaseBuffer(self.operational.corners)

@@ -16,7 +16,19 @@ corner block × mismatch block + phase tag) evaluated by a
 * sharding — ``workers > 1`` splits any job's batch axis (mismatch,
   corner *and* design rows) across a persistent warm
   :class:`~repro.simulation.sharding.WorkerPool` owned by the service,
-  with bit-identical results (:mod:`repro.simulation.sharding`).
+  with bit-identical results (:mod:`repro.simulation.sharding`);
+* :class:`FaultInjectingBackend` — the chaos harness: wraps any terminal
+  backend with seeded, scriptable fault schedules (raise / hang /
+  kill-own-worker / FAILURE_NAN) so the fault-tolerance paths are
+  exercised deterministically (:mod:`repro.simulation.faults`).
+
+Fault tolerance: a :class:`RetryPolicy` on the service re-simulates
+classified-transient failures (worker death, timeouts, engine errors,
+``FAILURE_NAN`` blocks) with budget-safe accounting — every failed
+attempt is refunded before the retry charges, so the eventual success is
+counted exactly once.  The pool self-heals after worker deaths
+(re-dispatching only the lost shards) and arms per-shard watchdog
+deadlines via :class:`~repro.simulation.sharding.ShardWatchdog`.
 
 The service runs jobs synchronously (:meth:`SimulationService.run`) or
 asynchronously (:meth:`SimulationService.submit` → :class:`SimFuture`),
@@ -46,7 +58,9 @@ from repro.simulation.service import (
     CACHE_FORMAT_VERSION,
     BatchedMNABackend,
     CachingBackend,
+    FailureKind,
     ReferenceScalarBackend,
+    RetryPolicy,
     ShardedDispatcher,
     SimFuture,
     SimJob,
@@ -55,13 +69,23 @@ from repro.simulation.service import (
     SimulationRecord,
     SimulationService,
     available_backends,
+    classify_failure,
+    clear_spill_store,
+    prune_spill_store,
     resolve_backend,
+    spill_store_stats,
 )
-from repro.simulation.sharding import ShardHandle, WorkerPool
+from repro.simulation.sharding import ShardHandle, ShardWatchdog, WorkerPool
 from repro.simulation.ngspice import (  # registers the "ngspice" backend
     NgspiceBackend,
     NgspiceError,
     NgspiceRunner,
+)
+from repro.simulation.faults import (  # registers the "chaos" backend
+    ChaosFault,
+    FaultInjectingBackend,
+    FaultSchedule,
+    install_chaos,
 )
 from repro.simulation.simulator import CircuitSimulator
 
@@ -74,6 +98,7 @@ __all__ = [
     "SimResult",
     "SimFuture",
     "ShardHandle",
+    "ShardWatchdog",
     "WorkerPool",
     "CACHE_FORMAT_VERSION",
     "SimulationBackend",
@@ -83,8 +108,18 @@ __all__ = [
     "NgspiceBackend",
     "NgspiceError",
     "NgspiceRunner",
+    "ChaosFault",
+    "FaultInjectingBackend",
+    "FaultSchedule",
+    "install_chaos",
     "CachingBackend",
     "ShardedDispatcher",
+    "RetryPolicy",
+    "FailureKind",
+    "classify_failure",
+    "spill_store_stats",
+    "prune_spill_store",
+    "clear_spill_store",
     "BACKENDS",
     "available_backends",
     "resolve_backend",

@@ -1,0 +1,350 @@
+"""Deterministic chaos injection for the simulation fabric.
+
+The fault-tolerance paths — budget-refunded retries, pool healing, shard
+watchdogs — guard against failures that are inherently hard to reproduce:
+a worker segfaulting mid-shard, an engine hanging past its timeout, a
+flaky license server.  This module makes those failures *scriptable and
+seeded* so CI can exercise every recovery path on demand:
+
+``FaultInjectingBackend`` (registry name ``"chaos"``) wraps any terminal
+backend and injects faults according to a :class:`FaultSchedule`:
+
+========  =============================================================
+mode      behaviour when a fault fires
+========  =============================================================
+raise     raise :class:`ChaosFault` (an ``NgspiceError`` — the retry
+          classifier treats it as an engine failure)
+hang      sleep ``hang_seconds`` before evaluating — trips the shard
+          watchdog / test-timeout machinery
+kill      ``os._exit(kill_exit_code)`` **when running inside a pool
+          worker** — the real worker-death signature (breaks the whole
+          executor).  In the main process this downgrades to ``raise``
+          so a mis-configured schedule can never kill the test runner.
+nan       return a full :data:`~repro.spice.deck.FAILURE_NAN` block
+          (the never-produced signature: uncacheable, refunded,
+          retried)
+========  =============================================================
+
+"Flaky-then-succeed" is ``raise`` with ``faults=N``: the first N matching
+evaluations fail, then the engine behaves.
+
+**Cross-process fault tickets.**  A sharded run evaluates in worker
+processes, each holding its *own* backend instance — an in-memory
+fault counter cannot coordinate "fail exactly once" across them.  The
+schedule therefore supports a *ticket directory*: :meth:`FaultSchedule.arm`
+creates ``faults`` ticket files, and every matching evaluation tries to
+claim one with ``os.unlink`` (atomic on POSIX — exactly one claimant wins
+each ticket, in any process).  No tickets left → the engine behaves.
+Without a ticket directory the schedule falls back to a per-instance
+in-memory counter, which is exactly right for single-process use.
+
+**Seeded targeting.**  With ``probability`` set, whether a given *job* is
+fault-eligible is drawn from ``default_rng([seed, job_hash])`` — keyed by
+the job's content hash, so the decision is identical in every process and
+on every retry of the same job (the ticket budget, not the draw, is what
+lets a retry eventually succeed).
+
+**Worker reconstruction.**  The zero-argument constructor rebuilds the
+whole configuration from ``REPRO_CHAOS_*`` environment variables (see
+:meth:`FaultSchedule.from_env` / :meth:`FaultSchedule.to_env`), which is
+what makes the chaos backend ``worker_reconstructible`` and therefore
+shardable — chaos runs exercise the *real* pool paths.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.circuits.base import AnalogCircuit
+from repro.simulation.ngspice import NgspiceError
+from repro.simulation.service import (
+    BACKENDS,
+    SimJob,
+    SimulationBackend,
+    resolve_backend,
+)
+
+#: Environment variables carrying a chaos schedule across process
+#: boundaries (fork or spawn): the worker-side zero-argument constructor
+#: reads them back.
+INNER_ENV = "REPRO_CHAOS_INNER"
+MODE_ENV = "REPRO_CHAOS_MODE"
+FAULTS_ENV = "REPRO_CHAOS_FAULTS"
+TICKET_DIR_ENV = "REPRO_CHAOS_TICKETS"
+HANG_SECONDS_ENV = "REPRO_CHAOS_HANG_SECONDS"
+SEED_ENV = "REPRO_CHAOS_SEED"
+PROBABILITY_ENV = "REPRO_CHAOS_PROBABILITY"
+KILL_EXIT_CODE_ENV = "REPRO_CHAOS_EXIT_CODE"
+
+VALID_MODES = ("raise", "hang", "kill", "nan")
+
+
+class ChaosFault(NgspiceError):
+    """An injected engine failure.
+
+    Subclasses :class:`~repro.simulation.ngspice.NgspiceError` so the
+    retry classifier files it under ``FailureKind.ENGINE`` — injected
+    faults flow through exactly the recovery paths a real engine failure
+    would.
+    """
+
+
+def _in_pool_worker() -> bool:
+    """True inside a ``ProcessPoolExecutor`` worker (any start method)."""
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """What to inject, how often, and how the decision is seeded.
+
+    Frozen so a schedule can ride inside a frozen config; mutable fault
+    *state* lives in the ticket directory (cross-process) or in the
+    owning backend's counter (single-process).
+    """
+
+    mode: str = "raise"
+    #: Total faults to inject before the engine behaves (``None`` =
+    #: unlimited — every eligible evaluation faults).
+    faults: Optional[int] = 1
+    #: Directory of one-shot ticket files (cross-process accounting); when
+    #: unset, accounting is a per-backend-instance counter.
+    ticket_dir: Optional[str] = None
+    #: How long ``hang`` sleeps.  Long by design — the watchdog, not the
+    #: sleep running out, is what should end a hung shard.
+    hang_seconds: float = 300.0
+    #: Optional seeded per-job targeting: a job is fault-eligible when
+    #: ``default_rng([seed, job_hash]).random() < probability``.
+    probability: Optional[float] = None
+    seed: int = 0
+    kill_exit_code: int = 13
+
+    def __post_init__(self):
+        if self.mode not in VALID_MODES:
+            raise ValueError(
+                f"unknown chaos mode {self.mode!r}; valid: {VALID_MODES}"
+            )
+        if self.faults is not None and self.faults < 0:
+            raise ValueError("faults must be non-negative or None")
+
+    # ------------------------------------------------------------------
+    # Ticket accounting
+    # ------------------------------------------------------------------
+    def arm(self) -> int:
+        """Create the ticket files in :attr:`ticket_dir`.
+
+        Returns the number of tickets written.  Requires a bounded
+        ``faults`` count and a ticket directory.
+        """
+        if self.ticket_dir is None:
+            raise ValueError("arm() requires a ticket_dir")
+        if self.faults is None:
+            raise ValueError("arm() requires a bounded fault count")
+        os.makedirs(self.ticket_dir, exist_ok=True)
+        for _ in range(self.faults):
+            path = os.path.join(
+                self.ticket_dir, f"ticket-{uuid.uuid4().hex}"
+            )
+            with open(path, "w") as handle:
+                handle.write("armed\n")
+        return self.faults
+
+    def tickets_left(self) -> int:
+        if self.ticket_dir is None or not os.path.isdir(self.ticket_dir):
+            return 0
+        return len(
+            [
+                name
+                for name in os.listdir(self.ticket_dir)
+                if name.startswith("ticket-")
+            ]
+        )
+
+    def _claim_ticket(self) -> bool:
+        """Atomically consume one ticket file; False when none remain.
+
+        ``os.unlink`` is the claim: on POSIX exactly one process wins a
+        given file, so N tickets yield exactly N faults fleet-wide no
+        matter how many workers race.
+        """
+        if self.ticket_dir is None or not os.path.isdir(self.ticket_dir):
+            return False
+        for name in sorted(os.listdir(self.ticket_dir)):
+            if not name.startswith("ticket-"):
+                continue
+            try:
+                os.unlink(os.path.join(self.ticket_dir, name))
+            except FileNotFoundError:
+                continue  # another process won this ticket; try the next
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Seeded targeting
+    # ------------------------------------------------------------------
+    def eligible(self, job: SimJob) -> bool:
+        """Whether this job may fault at all (before ticket accounting)."""
+        if self.probability is None:
+            return True
+        key = int(job.job_id[:16], 16) % (2**32)
+        draw = np.random.default_rng([self.seed, key]).random()
+        return bool(draw < self.probability)
+
+    # ------------------------------------------------------------------
+    # Environment round trip (worker reconstruction)
+    # ------------------------------------------------------------------
+    def to_env(self, inner: str) -> Dict[str, str]:
+        """The ``REPRO_CHAOS_*`` mapping reconstructing this schedule."""
+        env = {
+            INNER_ENV: inner,
+            MODE_ENV: self.mode,
+            FAULTS_ENV: "" if self.faults is None else str(self.faults),
+            TICKET_DIR_ENV: self.ticket_dir or "",
+            HANG_SECONDS_ENV: repr(float(self.hang_seconds)),
+            SEED_ENV: str(self.seed),
+            PROBABILITY_ENV: (
+                "" if self.probability is None else repr(self.probability)
+            ),
+            KILL_EXIT_CODE_ENV: str(self.kill_exit_code),
+        }
+        return env
+
+    def apply_env(self, inner: str) -> None:
+        """Publish this schedule (and the inner backend name) to
+        ``os.environ`` so forked/spawned workers rebuild it."""
+        os.environ.update(self.to_env(inner))
+
+    @classmethod
+    def from_env(cls) -> "FaultSchedule":
+        faults_raw = os.environ.get(FAULTS_ENV, "1")
+        probability_raw = os.environ.get(PROBABILITY_ENV, "")
+        return cls(
+            mode=os.environ.get(MODE_ENV, "raise"),
+            faults=int(faults_raw) if faults_raw else None,
+            ticket_dir=os.environ.get(TICKET_DIR_ENV) or None,
+            hang_seconds=float(os.environ.get(HANG_SECONDS_ENV, "300")),
+            probability=float(probability_raw) if probability_raw else None,
+            seed=int(os.environ.get(SEED_ENV, "0")),
+            kill_exit_code=int(os.environ.get(KILL_EXIT_CODE_ENV, "13")),
+        )
+
+
+class FaultInjectingBackend(SimulationBackend):
+    """A terminal backend that injects scheduled faults around another.
+
+    ``FaultInjectingBackend()`` (zero arguments — the worker-side rebuild)
+    reads the inner backend name and the schedule from ``REPRO_CHAOS_*``;
+    the parent-side constructor takes them explicitly and, for sharded
+    runs, :meth:`FaultSchedule.apply_env` must have published the same
+    configuration first (:func:`install_chaos` does both).
+    """
+
+    name = "chaos"
+
+    def __init__(
+        self,
+        inner: Union[str, SimulationBackend, None] = None,
+        schedule: Optional[FaultSchedule] = None,
+    ):
+        if inner is None:
+            inner = os.environ.get(INNER_ENV, "batched")
+        self.inner = resolve_backend(inner)
+        self.schedule = schedule if schedule is not None else FaultSchedule.from_env()
+        #: In-memory fault budget, used only without a ticket directory.
+        self._local_faults_left = (
+            self.schedule.faults if self.schedule.ticket_dir is None else None
+        )
+        #: Faults actually injected by *this instance* (observable).
+        self.injected = 0
+
+    # Delegate engine traits to the wrapped backend.
+    @property
+    def row_parallel(self) -> bool:
+        return bool(getattr(self.inner, "row_parallel", False))
+
+    @property
+    def worker_reconstructible(self) -> bool:
+        return bool(self.inner.worker_reconstructible)
+
+    # ------------------------------------------------------------------
+    def _claim_fault(self, job: SimJob) -> bool:
+        schedule = self.schedule
+        if not schedule.eligible(job):
+            return False
+        if schedule.ticket_dir is not None:
+            return schedule._claim_ticket()
+        if self._local_faults_left is None:  # unlimited
+            return True
+        if self._local_faults_left <= 0:
+            return False
+        self._local_faults_left -= 1
+        return True
+
+    def evaluate(
+        self, circuit: AnalogCircuit, job: SimJob
+    ) -> Dict[str, np.ndarray]:
+        if self._claim_fault(job):
+            self.injected += 1
+            mode = self.schedule.mode
+            if mode == "kill" and _in_pool_worker():
+                os._exit(self.schedule.kill_exit_code)
+            if mode == "kill" or mode == "raise":
+                # kill in the main process downgrades to raise: killing
+                # the driver (and the test runner with it) is never the
+                # intent of a chaos schedule.
+                raise ChaosFault(
+                    f"injected {mode!r} fault for job {job.job_id[:12]}"
+                )
+            if mode == "hang":
+                time.sleep(self.schedule.hang_seconds)
+                # Fall through to a normal evaluation: if nothing above
+                # this layer enforced a deadline, the caller still gets
+                # correct metrics — just catastrophically late.
+            elif mode == "nan":
+                from repro.spice.deck import FAILURE_NAN
+
+                return {
+                    name: np.full(job.batch, FAILURE_NAN)
+                    for name in circuit.metric_names
+                }
+        return self.inner.evaluate(circuit, job)
+
+
+BACKENDS[FaultInjectingBackend.name] = FaultInjectingBackend
+
+
+def install_chaos(
+    inner: Union[str, SimulationBackend],
+    schedule: FaultSchedule,
+    arm: bool = True,
+) -> FaultInjectingBackend:
+    """Build a chaos backend and publish its configuration for workers.
+
+    Applies the schedule to the environment (so sharded workers rebuild
+    the same wrapper), arms the ticket directory when one is configured,
+    and returns the parent-side instance.  Test fixtures should pair this
+    with ``monkeypatch.setenv``-style cleanup of the ``REPRO_CHAOS_*``
+    variables.
+    """
+    inner_name = (
+        inner if isinstance(inner, str) else inner.name
+    ) or "batched"
+    schedule.apply_env(inner_name)
+    if arm and schedule.ticket_dir is not None and schedule.faults is not None:
+        schedule.arm()
+    return FaultInjectingBackend(inner_name, schedule)
+
+
+__all__ = [
+    "ChaosFault",
+    "FaultInjectingBackend",
+    "FaultSchedule",
+    "install_chaos",
+]

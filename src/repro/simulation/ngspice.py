@@ -153,6 +153,13 @@ class NgspiceRunner:
         broken, not the simulation); everything else — timeouts, nonzero
         exits — is reported on the returned :class:`NgspiceRun` so the
         backend can decide between NaN degradation and strict failure.
+
+        On POSIX the engine runs in its **own session** (process group) and
+        a timeout kills the *whole group* with ``SIGKILL``: a hung ngspice
+        that spawned helpers (shell wrappers, license daemons, the fake
+        simulator's children in tests) cannot leave orphans holding the
+        scratch directory or leaking into later shards — the old
+        ``subprocess.run(timeout=...)`` path only killed the direct child.
         """
         with tempfile.TemporaryDirectory(prefix="repro-ngspice-") as scratch:
             deck_path = os.path.join(scratch, f"{tag}.cir")
@@ -162,25 +169,31 @@ class NgspiceRunner:
             command = [self.executable, "-b", "-o", log_path, deck_path]
             timed_out = False
             try:
-                completed = subprocess.run(
+                process = subprocess.Popen(
                     command,
-                    capture_output=True,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
                     text=True,
-                    timeout=self.timeout,
                     cwd=scratch,
+                    start_new_session=(os.name == "posix"),
                 )
-                returncode: Optional[int] = completed.returncode
-                stdout, stderr = completed.stdout, completed.stderr
             except FileNotFoundError:
                 raise NgspiceError(
                     f"simulator executable {self.executable!r} not found; "
                     f"install ngspice or point ${EXECUTABLE_ENV} at it"
                 ) from None
+            try:
+                stdout, stderr = process.communicate(timeout=self.timeout)
+                returncode: Optional[int] = process.returncode
             except subprocess.TimeoutExpired as expired:
                 timed_out = True
                 returncode = None
-                stdout = _decode(expired.stdout)
-                stderr = _decode(expired.stderr)
+                _kill_process_group(process)
+                # Reap the killed group leader; the group is dead, so this
+                # cannot block indefinitely.
+                late_out, late_err = process.communicate()
+                stdout = _decode(expired.stdout) or _decode(late_out)
+                stderr = _decode(expired.stderr) or _decode(late_err)
             log_text = ""
             if os.path.exists(log_path):
                 with open(log_path, "r", encoding="utf-8", errors="replace") as handle:
@@ -193,6 +206,28 @@ class NgspiceRunner:
                 stderr=stderr,
                 timed_out=timed_out,
             )
+
+
+def _kill_process_group(process: "subprocess.Popen") -> None:
+    """SIGKILL a timed-out engine and everything it spawned.
+
+    The engine was started with ``start_new_session=True`` (POSIX), so its
+    process group id is its own pid and ``os.killpg`` reaps helpers and
+    grandchildren too.  Windows (no process groups of this kind) and
+    already-exited leaders fall back to killing the direct child only.
+    """
+    if os.name == "posix":
+        import signal
+
+        try:
+            os.killpg(os.getpgid(process.pid), signal.SIGKILL)
+            return
+        except (ProcessLookupError, PermissionError, OSError):
+            pass
+    try:
+        process.kill()
+    except OSError:  # pragma: no cover - already gone
+        pass
 
 
 def _decode(raw) -> str:

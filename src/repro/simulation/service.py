@@ -101,10 +101,15 @@ import hashlib
 import os
 import tempfile
 import threading
+import time
 import zipfile
 from collections import deque
 from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
+from enum import Enum
+from subprocess import TimeoutExpired
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -113,6 +118,7 @@ from repro.circuits.base import AnalogCircuit
 from repro.simulation.budget import SimulationBudget, SimulationPhase
 from repro.simulation.sharding import (
     ShardHandle,
+    ShardWatchdog,
     WorkerPool,
     dispatch_job_sharded,
 )
@@ -535,6 +541,190 @@ def resolve_backend(backend: Union[str, SimulationBackend]) -> SimulationBackend
         ) from None
 
 
+# ----------------------------------------------------------------------
+# Failure classification and retry policy
+# ----------------------------------------------------------------------
+class FailureKind(Enum):
+    """Why one evaluation attempt produced no usable metrics.
+
+    The retry policy keys on this classification, not on exception types:
+    infrastructure failures (a dead worker, a hung engine, a flaky
+    license) are transient and worth re-simulating; anything unclassified
+    is :attr:`OTHER` — most likely a code bug — and is never retried by
+    default, because re-running a deterministic bug burns budgeted
+    wall-clock to reproduce the same crash.
+    """
+
+    #: A pool worker died (``BrokenProcessPool``): segfault, OOM-kill,
+    #: chaos ``kill``.
+    WORKER_DEATH = "worker_death"
+    #: A deadline fired: futures timeout, subprocess timeout, watchdog.
+    TIMEOUT = "timeout"
+    #: The external engine failed (:class:`~repro.simulation.ngspice
+    #: .NgspiceError`, including injected :class:`~repro.simulation.faults
+    #: .ChaosFault`).
+    ENGINE = "engine"
+    #: No exception, but the metrics carry
+    #: :data:`~repro.spice.deck.FAILURE_NAN` rows — the engine never
+    #: produced those rows (graceful-degradation paths: non-strict
+    #: ngspice, watchdog-degraded shards, chaos ``nan``).
+    FAILURE_NAN = "failure_nan"
+    #: Everything else; not retried by default.
+    OTHER = "other"
+
+
+def classify_failure(error: BaseException) -> FailureKind:
+    """Map one raised exception onto a :class:`FailureKind`."""
+    if isinstance(error, BrokenProcessPool):
+        return FailureKind.WORKER_DEATH
+    if isinstance(error, (FuturesTimeoutError, TimeoutError, TimeoutExpired)):
+        return FailureKind.TIMEOUT
+    try:  # lazy: ngspice.py imports this module
+        from repro.simulation.ngspice import NgspiceError
+    except ImportError:  # pragma: no cover - circular-import fallback
+        NgspiceError = ()  # type: ignore[assignment]
+    if isinstance(error, NgspiceError):
+        return FailureKind.ENGINE
+    return FailureKind.OTHER
+
+
+#: Failure kinds retried by default: every *transient infrastructure*
+#: class, never :attr:`FailureKind.OTHER`.
+DEFAULT_RETRY_ON = frozenset(
+    {
+        FailureKind.WORKER_DEATH,
+        FailureKind.TIMEOUT,
+        FailureKind.ENGINE,
+        FailureKind.FAILURE_NAN,
+    }
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Budget-safe retry policy for one :class:`SimulationService`.
+
+    ``max_attempts`` is the *total* evaluation attempts per job (1 = no
+    retries).  Between attempts the service sleeps an exponential backoff
+    with **deterministic seeded jitter**: attempt ``k`` (1-based) waits
+    ``backoff · factor^(k-1) · (1 + jitter·u)`` where ``u ∈ [0, 1)`` is
+    drawn from ``default_rng([seed, job_hash, k])`` — a pure function of
+    the policy seed, the job's content hash and the attempt index, so a
+    rerun of the same faulty schedule waits the same delays (no shared RNG
+    stream is consumed; the experiment's seeded sampling streams are
+    untouched by retries).
+
+    Budget safety is the service's side of the contract: every failed
+    attempt is refunded (charge + idempotency key) *before* the retry
+    charges again, so a job that eventually succeeds is counted exactly
+    once and a job that exhausts its attempts is counted zero times —
+    bit-identical to the fault-free trajectory.
+
+    The optional watchdog fields configure the per-shard deadline
+    (:class:`~repro.simulation.sharding.ShardWatchdog`) the service arms
+    on its sharded dispatcher: ``watchdog_seconds_per_row × rows``,
+    floored at ``watchdog_floor``.  ``None`` leaves hung shards to the
+    engine-level timeouts.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+    retry_on: frozenset = DEFAULT_RETRY_ON
+    watchdog_seconds_per_row: Optional[float] = None
+    watchdog_floor: float = 5.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff < 0 or self.jitter < 0:
+            raise ValueError("backoff and jitter must be non-negative")
+        normalized = frozenset(
+            FailureKind(kind) if not isinstance(kind, FailureKind) else kind
+            for kind in self.retry_on
+        )
+        object.__setattr__(self, "retry_on", normalized)
+
+    # ------------------------------------------------------------------
+    def should_retry(self, kind: FailureKind, attempt: int) -> bool:
+        """Whether attempt ``attempt`` (1-based) failing as ``kind`` gets
+        another try."""
+        return attempt < self.max_attempts and kind in self.retry_on
+
+    def delay(self, job_id: str, attempt: int) -> float:
+        """The deterministic backoff before the attempt after ``attempt``."""
+        if self.backoff <= 0:
+            return 0.0
+        base = self.backoff * self.backoff_factor ** max(attempt - 1, 0)
+        if self.jitter <= 0:
+            return base
+        key = int(job_id[:16], 16) % (2**32) if job_id else 0
+        u = np.random.default_rng([self.seed, key, attempt]).random()
+        return base * (1.0 + self.jitter * u)
+
+    def sleep(self, job_id: str, attempt: int) -> None:
+        delay = self.delay(job_id, attempt)
+        if delay > 0:
+            time.sleep(delay)
+
+    def watchdog(self) -> Optional[ShardWatchdog]:
+        """The shard watchdog this policy configures (``None`` = off)."""
+        if self.watchdog_seconds_per_row is None:
+            return None
+        return ShardWatchdog(
+            seconds_per_row=float(self.watchdog_seconds_per_row),
+            floor=float(self.watchdog_floor),
+        )
+
+    # ------------------------------------------------------------------
+    # Config round trip (ExperimentConfig / CLI)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff": self.backoff,
+            "backoff_factor": self.backoff_factor,
+            "jitter": self.jitter,
+            "seed": self.seed,
+            "retry_on": sorted(kind.value for kind in self.retry_on),
+            "watchdog_seconds_per_row": self.watchdog_seconds_per_row,
+            "watchdog_floor": self.watchdog_floor,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RetryPolicy":
+        known = {
+            "max_attempts",
+            "backoff",
+            "backoff_factor",
+            "jitter",
+            "seed",
+            "retry_on",
+            "watchdog_seconds_per_row",
+            "watchdog_floor",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown RetryPolicy fields: {sorted(unknown)}")
+        data = dict(payload)
+        if "retry_on" in data:
+            data["retry_on"] = frozenset(
+                FailureKind(kind) for kind in data["retry_on"]
+            )
+        return cls(**data)  # type: ignore[arg-type]
+
+
+def resolve_retry(
+    retry: Union[None, RetryPolicy, Dict[str, object]]
+) -> Optional[RetryPolicy]:
+    """A :class:`RetryPolicy` from ``None`` / an instance / a dict."""
+    if retry is None or isinstance(retry, RetryPolicy):
+        return retry
+    return RetryPolicy.from_dict(retry)
+
+
 #: On-disk cache layout version: bumped whenever the spilled ``.npz``
 #: payload changes shape, so stale stores from older builds are ignored
 #: (treated as misses) instead of misread.
@@ -705,6 +895,95 @@ class CachingBackend(SimulationBackend):
         self.misses = 0
 
 
+# ----------------------------------------------------------------------
+# Disk spill store maintenance (the `repro cache` CLI)
+# ----------------------------------------------------------------------
+def _spill_store_files(cache_dir: str) -> List[Tuple[str, int, float]]:
+    """``(path, bytes, mtime)`` for every record in a spill store."""
+    records: List[Tuple[str, int, float]] = []
+    root = os.path.abspath(os.fspath(cache_dir))
+    if not os.path.isdir(root):
+        return records
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            if not filename.endswith(".npz"):
+                continue
+            path = os.path.join(dirpath, filename)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            records.append((path, stat.st_size, stat.st_mtime))
+    return records
+
+
+def spill_store_stats(cache_dir: str) -> Dict[str, object]:
+    """Entry count, byte total and age span of one disk spill store."""
+    records = _spill_store_files(cache_dir)
+    mtimes = [mtime for _path, _size, mtime in records]
+    return {
+        "cache_dir": os.path.abspath(os.fspath(cache_dir)),
+        "entries": len(records),
+        "total_bytes": sum(size for _path, size, _mtime in records),
+        "oldest_mtime": min(mtimes) if mtimes else None,
+        "newest_mtime": max(mtimes) if mtimes else None,
+    }
+
+
+def _remove_spill_record(path: str) -> bool:
+    try:
+        os.unlink(path)
+    except OSError:
+        return False
+    # Drop the two-character fan-out directory once it empties; purely
+    # cosmetic, so every failure mode is ignored.
+    try:
+        os.rmdir(os.path.dirname(path))
+    except OSError:
+        pass
+    return True
+
+
+def prune_spill_store(cache_dir: str, max_bytes: int) -> Dict[str, int]:
+    """Evict least-recently-touched records until ≤ ``max_bytes`` remain.
+
+    LRU by file mtime: disk *hits* do not refresh mtimes (records are
+    promoted into memory and never rewritten), so this is closer to
+    least-recently-*written* — good enough for the hygiene job of keeping
+    a long-lived store bounded.  Returns removal/survival counts.
+    """
+    if max_bytes < 0:
+        raise ValueError("max_bytes must be non-negative")
+    records = sorted(
+        _spill_store_files(cache_dir), key=lambda record: record[2]
+    )
+    total = sum(size for _path, size, _mtime in records)
+    removed_files = 0
+    removed_bytes = 0
+    for path, size, _mtime in records:
+        if total <= max_bytes:
+            break
+        if _remove_spill_record(path):
+            removed_files += 1
+            removed_bytes += size
+            total -= size
+    return {
+        "removed_files": removed_files,
+        "removed_bytes": removed_bytes,
+        "remaining_files": len(records) - removed_files,
+        "remaining_bytes": total,
+    }
+
+
+def clear_spill_store(cache_dir: str) -> int:
+    """Delete every record in the store; returns how many were removed."""
+    removed = 0
+    for path, _size, _mtime in _spill_store_files(cache_dir):
+        if _remove_spill_record(path):
+            removed += 1
+    return removed
+
+
 class ShardedDispatcher(SimulationBackend):
     """Splits a job's batch axis across a persistent worker pool.
 
@@ -730,12 +1009,14 @@ class ShardedDispatcher(SimulationBackend):
         inner: SimulationBackend,
         workers: int,
         pool: Optional[WorkerPool] = None,
+        watchdog: Optional[ShardWatchdog] = None,
     ):
         self.inner = inner
         self.workers = max(1, int(workers))
         self._pool = pool
         self._owns_pool = pool is None
         self._released = False
+        self.watchdog = watchdog
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -760,7 +1041,9 @@ class ShardedDispatcher(SimulationBackend):
     ) -> Optional[ShardHandle]:
         """Submit the job's shards without blocking (``None`` = not
         shardable; the caller evaluates in-process instead)."""
-        return dispatch_job_sharded(circuit, self.inner, job, self.pool)
+        return dispatch_job_sharded(
+            circuit, self.inner, job, self.pool, watchdog=self.watchdog
+        )
 
     def evaluate(
         self, circuit: AnalogCircuit, job: SimJob
@@ -954,11 +1237,13 @@ class SimulationService:
         idempotent_charges: bool = False,
         cache_dir: Optional[str] = None,
         warm_pool: bool = True,
+        retry: Union[None, RetryPolicy, Dict[str, object]] = None,
     ):
         self._circuit = circuit
         self._budget = budget if budget is not None else SimulationBudget()
         self._workers = max(1, int(workers))
         self._terminal = resolve_backend(backend)
+        self._retry = resolve_retry(retry)
         self._dispatch: SimulationBackend = self._terminal
         self._pool: Optional[WorkerPool] = None
         if self._workers > 1:
@@ -969,7 +1254,12 @@ class SimulationService:
                 eager=warm_pool,
             )
             self._dispatch = ShardedDispatcher(
-                self._terminal, self._workers, pool=self._pool
+                self._terminal,
+                self._workers,
+                pool=self._pool,
+                watchdog=(
+                    self._retry.watchdog() if self._retry is not None else None
+                ),
             )
         self._cache: Optional[CachingBackend] = (
             CachingBackend(self._dispatch, spill_dir=cache_dir)
@@ -1011,6 +1301,11 @@ class SimulationService:
     def cache(self) -> Optional[CachingBackend]:
         """The cache decorator when enabled, else ``None``."""
         return self._cache
+
+    @property
+    def retry(self) -> Optional[RetryPolicy]:
+        """The active retry policy (``None`` = fail fast, legacy mode)."""
+        return self._retry
 
     @property
     def pool(self) -> Optional[WorkerPool]:
@@ -1061,6 +1356,68 @@ class SimulationService:
         counted = self._budget.charge(job.phase, count, job_id=job_id)
         return counted, job_id
 
+    def _evaluate_accounted(
+        self,
+        job: SimJob,
+        first_attempt: Callable[[], Dict[str, np.ndarray]],
+    ) -> Dict[str, np.ndarray]:
+        """Charge → evaluate → refund-on-failure, under the retry policy.
+
+        The one accounting loop shared by :meth:`run` and future
+        resolution.  Each attempt charges the budget up front (so a
+        ``max_simulations`` cap aborts before work is spent) and refunds —
+        count *and* idempotency key — whenever the attempt produced no
+        usable metrics: a raising backend, or a block carrying
+        :data:`~repro.spice.deck.FAILURE_NAN` rows.  With no retry policy
+        this is exactly the legacy behaviour (raise propagates, a *full*
+        failure block is refunded-but-returned, a partial one stands);
+        with a policy, classified-transient failures re-evaluate through a
+        **fresh dispatch** (a re-shard on the — possibly healed — pool)
+        after the policy's deterministic backoff, and because every failed
+        attempt was refunded first, the eventual success charges exactly
+        once: the budget trajectory is bit-identical to a fault-free run.
+        """
+        policy = self._retry
+        attempt = 1
+        evaluate = first_attempt
+        while True:
+            counted, job_id = self._charge(job, job.cost)
+            try:
+                metrics = evaluate()
+            except BaseException as error:
+                if counted:
+                    self._budget.refund(job.phase, job.cost, job_id=job_id)
+                if policy is None or not policy.should_retry(
+                    classify_failure(error), attempt
+                ):
+                    raise
+            else:
+                if not failed_row_mask(metrics).any():
+                    return metrics
+                # The block carries rows the engine never produced.
+                if policy is None or not policy.should_retry(
+                    FailureKind.FAILURE_NAN, attempt
+                ):
+                    # Terminal: legacy accounting.  A *full* failure block
+                    # is refunded (nothing was simulated) but still
+                    # returned so graceful-degradation consumers see the
+                    # NaN rows; a partial block stands as charged.
+                    if counted and is_failure_block(metrics):
+                        self._budget.refund(
+                            job.phase, job.cost, job_id=job_id
+                        )
+                    return metrics
+                # Retrying: the whole attempt is refunded (mirroring the
+                # cache's refusal to admit any failed row) and the job
+                # re-simulates from scratch.
+                if counted:
+                    self._budget.refund(job.phase, job.cost, job_id=job_id)
+            policy.sleep(job.job_id, attempt)
+            attempt += 1
+            evaluate = lambda: self._dispatch.evaluate(  # noqa: E731
+                self._circuit, job
+            )
+
     def run(self, job: SimJob) -> SimResult:
         """Evaluate one job, charging the budget before any simulation runs
         (so a ``max_simulations`` cap aborts without spending work, exactly
@@ -1094,18 +1451,14 @@ class SimulationService:
                     cached=True,
                     backend=self._cache.name,
                 )
-        counted, job_id = self._charge(job, job.cost)
-        try:
-            result = self._dispatch.run(self._circuit, job)
-        except BaseException:
-            if counted:
-                self._budget.refund(job.phase, job.cost, job_id=job_id)
-            raise
-        if counted and is_failure_block(result.metrics):
-            self._budget.refund(job.phase, job.cost, job_id=job_id)
+        metrics = self._evaluate_accounted(
+            job, lambda: self._dispatch.evaluate(self._circuit, job)
+        )
         if self._cache is not None:
-            self._cache.store(job, result.metrics)
-        return result
+            self._cache.store(job, metrics)
+        return SimResult(
+            job=job, metrics=metrics, cached=False, backend=self._dispatch.name
+        )
 
     # ------------------------------------------------------------------
     # Async path
@@ -1169,15 +1522,7 @@ class SimulationService:
                 cached=True,
                 backend=self._cache.name if self._cache is not None else "",
             )
-        counted, job_id = self._charge(job, job.cost)
-        try:
-            metrics = future._outcome()
-        except BaseException:
-            if counted:
-                self._budget.refund(job.phase, job.cost, job_id=job_id)
-            raise
-        if counted and is_failure_block(metrics):
-            self._budget.refund(job.phase, job.cost, job_id=job_id)
+        metrics = self._evaluate_accounted(job, future._outcome)
         if self._cache is not None:
             self._cache.store(job, metrics)
         return SimResult(

@@ -1,4 +1,4 @@
-"""Persistent warm worker pools and job-axis sharding.
+"""Persistent warm worker pools, job-axis sharding, and pool self-healing.
 
 The batched backends vectorize within one process; this module shards the
 row axis of one :class:`~repro.simulation.service.SimJob` across a
@@ -27,12 +27,38 @@ Two things changed with the async service redesign:
   abandon speculative work).  :func:`run_job_sharded` remains the blocking
   convenience wrapper.
 
+Fault tolerance (the simulation-fabric layer):
+
+* **Self-healing pools.**  A worker process dying mid-shard (segfault,
+  OOM-kill, a chaos-injected ``os._exit``) breaks the whole
+  ``ProcessPoolExecutor`` — every in-flight future raises
+  ``BrokenProcessPool``.  :meth:`WorkerPool.heal` tears the broken executor
+  down (terminating any survivors) and rebuilds it through the same warm-up
+  barrier as construction; :class:`ShardHandle` drives the heal and
+  **re-dispatches only the lost shards** — completed shard results are
+  kept, so a single worker death costs one shard's work, not the job's.
+  Heals are capped per pool (:attr:`WorkerPool.max_heals`); past the cap
+  the pool declares itself :attr:`~WorkerPool.poisoned` and every
+  dispatcher falls back to in-process evaluation instead of feeding a
+  crash loop.
+* **Shard watchdogs.**  With a :class:`ShardWatchdog`, every shard gets a
+  wall-clock deadline derived from its row count (``seconds_per_row ×
+  rows``, floored at :attr:`ShardWatchdog.floor`).  A shard that blows its
+  deadline — a hung engine the per-deck timeout never fired on — degrades
+  to :data:`~repro.spice.deck.FAILURE_NAN` rows instead of wedging the
+  control loop, and the pool is healed (the hung worker terminated) so
+  later shards land on live workers.  The FAILURE_NAN rows make the block
+  uncacheable and, under a retry policy, trigger a budget-refunded
+  re-simulation — see :mod:`repro.simulation.service`.
+
 Design constraints (unchanged):
 
 * **Seeded-stream identical** — sampling happens *before* a job is built
   (evaluation consumes no randomness), and shard results are concatenated
   in submission order, so a sharded run returns bit-identical metric
-  arrays to the single-process run.
+  arrays to the single-process run.  Healing preserves this: a re-dispatch
+  evaluates the *same* frozen shard job, and watchdog degradation only
+  produces FAILURE_NAN rows that a retrying service re-simulates.
 * **No circuit or backend pickling** — circuit instances carry closures
   (the :class:`DeviceSpec` sizing lambdas) and cannot cross a process
   boundary.  Workers receive the job's *registry* circuit name and the
@@ -47,8 +73,12 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import warnings
 import weakref
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -70,9 +100,11 @@ MIN_ROWS_PER_WORKER = 2
 #: B-axis shard never spawns a BLAS thread team of its own — ``workers``
 #: processes × ``cores`` BLAS threads oversubscribes the machine and runs
 #: *slower* than single-process.  Set in the worker initializer (effective
-#: for libraries that read them lazily) and best-effort enforced through
-#: ``threadpoolctl`` when it is installed (required for fork-started
-#: workers whose BLAS was already initialized in the parent).
+#: for libraries that read them lazily) and enforced through
+#: ``threadpoolctl`` when installed, else through the ctypes fallback
+#: below (required for fork-started workers whose BLAS was already
+#: initialized in the parent — an initialized BLAS never re-reads its
+#: environment).
 BLAS_ENV_VARS = (
     "OMP_NUM_THREADS",
     "OPENBLAS_NUM_THREADS",
@@ -81,10 +113,31 @@ BLAS_ENV_VARS = (
     "VECLIB_MAXIMUM_THREADS",
 )
 
+#: ``set_num_threads``-style entry points probed by the ctypes fallback.
+#: Covers stock OpenBLAS (plain and 64-bit-index suffixed), the
+#: ``scipy_openblas`` builds vendored inside numpy/scipy wheels, GotoBLAS
+#: heritage aliases, and BLIS.  Every symbol takes one plain C ``int``.
+_BLAS_SET_THREADS_SYMBOLS = (
+    "openblas_set_num_threads",
+    "openblas_set_num_threads64_",
+    "scipy_openblas_set_num_threads",
+    "scipy_openblas_set_num_threads64_",
+    "goto_set_num_threads",
+    "bli_thread_set_num_threads",
+)
+
+#: MKL's entry point (takes one C ``int`` by value).
+_MKL_SET_THREADS_SYMBOL = "MKL_Set_Num_Threads"
+
 #: How long an eagerly spawned worker waits for its siblings before giving
 #: up on the all-workers-up barrier (the pool still works; it is merely
 #: less uniformly warm).
 WARM_BARRIER_TIMEOUT = 10.0
+
+#: Default cap on executor rebuilds per :class:`WorkerPool` before the
+#: pool declares itself poisoned (a worker crash loop should fail over to
+#: in-process evaluation, not heal forever).
+DEFAULT_MAX_HEALS = 3
 
 # Per-worker-process caches, keyed by registry name.
 _WORKER_CIRCUITS: Dict[str, AnalogCircuit] = {}
@@ -106,7 +159,20 @@ def _shutdown_live_pools() -> None:  # pragma: no cover - interpreter teardown
 
 
 def _pin_blas_threads() -> None:
-    """Pin this process's BLAS/OpenMP thread pools to a single thread."""
+    """Pin this process's BLAS/OpenMP thread pools to a single thread.
+
+    Environment variables alone are not enough under the ``fork`` start
+    method: a parent that already ran a matmul has an *initialized* BLAS
+    whose thread team survives the fork and never re-reads the
+    environment, so every worker would run a full-width team and
+    oversubscribe the machine ``workers``-fold.  ``threadpoolctl`` fixes
+    that when installed; otherwise :func:`_ctypes_pin_blas_threads` calls
+    the loaded library's ``*_set_num_threads`` entry point directly.
+    (The ``spawn`` start method side-steps the problem entirely — children
+    start with a fresh, uninitialized BLAS that honours the env vars — at
+    the cost of losing fork's warm copy-on-write memory; prefer it on
+    platforms where fork is unavailable anyway.)
+    """
     global _WORKER_BLAS_LIMITER
     for name in BLAS_ENV_VARS:
         os.environ[name] = "1"
@@ -114,8 +180,83 @@ def _pin_blas_threads() -> None:
         import threadpoolctl
 
         _WORKER_BLAS_LIMITER = threadpoolctl.threadpool_limits(limits=1)
+        return
     except ImportError:
         pass
+    _ctypes_pin_blas_threads(1)
+
+
+def _blas_library_candidates() -> List[str]:
+    """Paths of BLAS shared objects bundled with numpy/scipy wheels.
+
+    Wheels vendor their OpenBLAS under ``<site-packages>/numpy.libs`` /
+    ``scipy.libs`` (Linux) or ``numpy/.libs`` (older layouts) and load it
+    ``RTLD_LOCAL`` — its symbols are *not* visible through
+    ``ctypes.CDLL(None)``, so the fallback must dlopen the file itself
+    (dlopen of an already-loaded object returns the same handle, so the
+    thread-count call reaches the live instance).
+    """
+    import glob
+
+    candidates: List[str] = []
+    for module_name in ("numpy", "scipy"):
+        try:
+            module = __import__(module_name)
+        except ImportError:  # pragma: no cover - scipy always present here
+            continue
+        package_dir = os.path.dirname(os.path.abspath(module.__file__))
+        site_dir = os.path.dirname(package_dir)
+        for libs_dir in (
+            os.path.join(site_dir, f"{module_name}.libs"),
+            os.path.join(package_dir, ".libs"),
+        ):
+            for pattern in ("*openblas*", "*mkl_rt*", "*blis*"):
+                candidates.extend(
+                    sorted(glob.glob(os.path.join(libs_dir, pattern)))
+                )
+    return candidates
+
+
+def _ctypes_pin_blas_threads(count: int) -> List[str]:
+    """Best-effort ctypes fallback for :func:`_pin_blas_threads`.
+
+    Probes the process-global symbol namespace and the numpy/scipy
+    vendored BLAS libraries for a ``set_num_threads`` entry point and pins
+    each one found.  Returns the symbols that were actually called (the
+    test suite asserts the vendored OpenBLAS is reached on this image).
+    Failures are silent by design: a worker that cannot pin is merely
+    slower, never wrong.
+    """
+    import ctypes
+
+    pinned: List[str] = []
+    libraries = []
+    try:
+        libraries.append(ctypes.CDLL(None))
+    except (OSError, TypeError):  # pragma: no cover - exotic platforms
+        pass
+    for path in _blas_library_candidates():
+        try:
+            libraries.append(ctypes.CDLL(path))
+        except OSError:  # pragma: no cover - unloadable stray file
+            continue
+    seen = set()
+    for library in libraries:
+        for symbol in _BLAS_SET_THREADS_SYMBOLS + (_MKL_SET_THREADS_SYMBOL,):
+            if symbol in seen:
+                continue
+            entry = getattr(library, symbol, None)
+            if entry is None:
+                continue
+            try:
+                entry.argtypes = [ctypes.c_int]
+                entry.restype = None
+                entry(int(count))
+            except (ctypes.ArgumentError, OSError):  # pragma: no cover
+                continue
+            seen.add(symbol)
+            pinned.append(symbol)
+    return pinned
 
 
 def _warm_worker(
@@ -127,11 +268,11 @@ def _warm_worker(
     """Worker initializer: pin BLAS, pre-import, pre-build, then rendezvous.
 
     Runs exactly once per worker interpreter.  The imports below register
-    every terminal backend (``repro.simulation`` imports the ngspice module
-    for the side effect) and the circuit/backend pre-builds populate the
-    process-level caches, so the first real shard pays no construction
-    cost.  The parent's resolved dense→sparse factorization threshold is
-    pinned here too: the crossover is *measured* per process
+    every terminal backend (``repro.simulation`` imports the ngspice and
+    chaos modules for the side effect) and the circuit/backend pre-builds
+    populate the process-level caches, so the first real shard pays no
+    construction cost.  The parent's resolved dense→sparse factorization
+    threshold is pinned here too: the crossover is *measured* per process
     (:func:`repro.spice.batched.sparse_auto_size`), and a worker measuring
     a different value than the parent — BLAS pinned vs not, different
     load — would pick a different solver path for borderline system sizes
@@ -196,8 +337,31 @@ def _noop() -> None:
     """Warm-up task: its only job is forcing a worker to spawn."""
 
 
+@dataclass(frozen=True)
+class ShardWatchdog:
+    """Wall-clock deadline policy for in-flight shards.
+
+    ``deadline(rows)`` is the grace a shard of that many rows gets before
+    :meth:`ShardHandle.result` gives up on it: ``seconds_per_row × rows``,
+    floored at ``floor`` so one-row shards are not starved by scheduling
+    noise.  An expired shard degrades to
+    :data:`~repro.spice.deck.FAILURE_NAN` rows (uncacheable; refunded and
+    retried by a service with a :class:`~repro.simulation.service
+    .RetryPolicy`) and the pool is healed so the hung worker is reclaimed.
+    This sits *above* any per-deck engine timeout — it is the backstop for
+    hangs the engine-level timeout cannot see (a stuck worker interpreter,
+    an engine ignoring its own limit).
+    """
+
+    seconds_per_row: float = 30.0
+    floor: float = 5.0
+
+    def deadline(self, rows: int) -> float:
+        return max(float(self.floor), float(self.seconds_per_row) * max(rows, 1))
+
+
 class WorkerPool:
-    """A persistent, warm, explicitly owned process pool.
+    """A persistent, warm, explicitly owned, self-healing process pool.
 
     Parameters
     ----------
@@ -214,6 +378,9 @@ class WorkerPool:
         before the constructor returns; other start methods fall back to a
         best-effort warm-up (synchronization primitives cannot be pickled
         to spawned children).
+    max_heals:
+        Executor rebuilds allowed before the pool declares itself
+        :attr:`poisoned` (see :meth:`heal`).
 
     The pool registers itself for interpreter-exit shutdown, but callers
     should prefer the explicit lifecycle — ``pool.shutdown()``, the context
@@ -233,54 +400,156 @@ class WorkerPool:
         circuit_names: Sequence[str] = (),
         backend_names: Sequence[str] = (),
         eager: bool = True,
+        max_heals: int = DEFAULT_MAX_HEALS,
     ):
         self.workers = max(1, int(workers))
+        self.max_heals = max(0, int(max_heals))
+        self._circuit_names = tuple(circuit_names)
+        self._backend_names = tuple(backend_names)
+        self._eager = bool(eager)
         self._closed = False
-        barrier = None
-        if eager and multiprocessing.get_start_method(allow_none=False) == "fork":
-            barrier = multiprocessing.get_context("fork").Barrier(self.workers)
+        self._poisoned = False
+        #: Executor rebuilds performed so far (observable; tests assert it).
+        self.heals = 0
+        #: Monotonic rebuild counter.  Shard handles record the generation
+        #: their futures were submitted under; on ``BrokenProcessPool`` they
+        #: pass it to :meth:`heal_broken` so several handles discovering the
+        #: same dead executor trigger exactly one rebuild.
+        self.generation = 0
         # Resolve the dense→sparse crossover in the parent (one-shot,
         # env-overridable) and ship it to every worker: parent and shards
         # must agree on the solver path bit for bit.
         from repro.spice.batched import sparse_auto_size
 
-        self._executor = ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_warm_worker,
-            initargs=(
-                tuple(circuit_names),
-                tuple(backend_names),
-                sparse_auto_size(),
-                barrier,
-            ),
-        )
+        self._sparse_threshold = sparse_auto_size()
+        self._executor = self._spawn_executor()
         # Register for the interpreter-exit sweep *before* the warm-up:
         # a warm-up failure (worker died, timeout on a loaded machine)
         # must not leak the already-spawned executor.
         _LIVE_POOLS.add(self)
-        if eager:
-            # One no-op per worker: each submit sees no idle worker (the
-            # previous ones are blocked on the barrier inside the
-            # initializer) and forces a fresh spawn, so all `workers`
-            # interpreters exist — warm — before any real job arrives.
+        if self._eager:
             try:
-                for future in [
-                    self._executor.submit(_noop) for _ in range(self.workers)
-                ]:
-                    future.result(timeout=WARM_BARRIER_TIMEOUT + 30.0)
+                self._warm_up(self._executor)
             except BaseException:
                 self.shutdown(wait=False)
                 raise
+
+    # ------------------------------------------------------------------
+    def _spawn_executor(self) -> ProcessPoolExecutor:
+        barrier = None
+        if (
+            self._eager
+            and multiprocessing.get_start_method(allow_none=False) == "fork"
+        ):
+            barrier = multiprocessing.get_context("fork").Barrier(self.workers)
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_warm_worker,
+            initargs=(
+                self._circuit_names,
+                self._backend_names,
+                self._sparse_threshold,
+                barrier,
+            ),
+        )
+
+    def _warm_up(self, executor: ProcessPoolExecutor) -> None:
+        # One no-op per worker: each submit sees no idle worker (the
+        # previous ones are blocked on the barrier inside the initializer)
+        # and forces a fresh spawn, so all `workers` interpreters exist —
+        # warm — before any real job arrives.
+        for future in [executor.submit(_noop) for _ in range(self.workers)]:
+            future.result(timeout=WARM_BARRIER_TIMEOUT + 30.0)
+
+    @staticmethod
+    def _terminate_workers(executor: ProcessPoolExecutor) -> None:
+        """Best-effort SIGTERM to an executor's worker processes.
+
+        Used when retiring a broken or hung executor: ``shutdown`` alone
+        never kills a *running* worker, so a hung engine would keep its
+        process (and its memory) alive indefinitely.  Reaches into the
+        executor's process table — private API, guarded accordingly.
+        """
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError, AttributeError):  # pragma: no cover
+                pass
 
     # ------------------------------------------------------------------
     @property
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def poisoned(self) -> bool:
+        """True once the heal cap is spent: dispatchers must stop feeding
+        this pool (they fall back to in-process evaluation instead)."""
+        return self._poisoned
+
     def submit(self, fn, /, *args) -> Future:
         if self._closed:
             raise RuntimeError("cannot submit to a closed WorkerPool")
+        if self._poisoned:
+            raise RuntimeError("cannot submit to a poisoned WorkerPool")
         return self._executor.submit(fn, *args)
+
+    # ------------------------------------------------------------------
+    # Self-healing
+    # ------------------------------------------------------------------
+    def heal(self, reason: str = "worker death") -> bool:
+        """Replace the executor with a freshly warmed one.
+
+        Terminates whatever worker processes remain (a broken executor may
+        still hold live siblings; a hung executor holds the stuck worker),
+        shuts the old executor down without waiting, and spawns a new one
+        through the same warm-up barrier as construction.  Each heal
+        increments :attr:`generation`; once :attr:`max_heals` rebuilds have
+        been spent the pool flips to :attr:`poisoned` and returns ``False``
+        — the caller must fail over (in-process evaluation) rather than
+        retry into a crash loop.  Returns ``True`` when the pool is usable
+        again.
+        """
+        if self._closed or self._poisoned:
+            return False
+        if self.heals >= self.max_heals:
+            self._poisoned = True
+            warnings.warn(
+                f"WorkerPool poisoned after {self.heals} heals "
+                f"(last failure: {reason}); falling back to in-process "
+                f"evaluation",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return False
+        self.heals += 1
+        self.generation += 1
+        old = self._executor
+        self._terminate_workers(old)
+        old.shutdown(wait=False, cancel_futures=True)
+        self._executor = self._spawn_executor()
+        if self._eager:
+            try:
+                self._warm_up(self._executor)
+            except BaseException:
+                self._poisoned = True
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                raise
+        return True
+
+    def heal_broken(self, generation: int, reason: str = "worker death") -> bool:
+        """Heal only if the executor from ``generation`` is still current.
+
+        When one worker dies, *every* in-flight future raises
+        ``BrokenProcessPool``; the first shard handle to notice heals the
+        pool, and this guard turns the siblings' heal requests into no-ops
+        (their executor is already gone and replaced).  Returns whether
+        the pool is usable.
+        """
+        if generation != self.generation:
+            return not (self._closed or self._poisoned)
+        return self.heal(reason=reason)
 
     def shutdown(self, wait: bool = True) -> None:
         """Idempotent shutdown; cancels work that has not started."""
@@ -297,6 +566,26 @@ class WorkerPool:
         self.shutdown()
 
 
+def _failure_block(job: "SimJob", metric_names: Sequence[str]):
+    """An all-:data:`FAILURE_NAN` metrics block for one shard job."""
+    from repro.spice.deck import FAILURE_NAN
+
+    return {
+        name: np.full(job.batch, FAILURE_NAN) for name in metric_names
+    }
+
+
+class _Shard:
+    """One in-flight shard: the frozen sub-job plus its current future."""
+
+    __slots__ = ("job", "future", "generation")
+
+    def __init__(self, job: "SimJob", future: Future, generation: int):
+        self.job = job
+        self.future = future
+        self.generation = generation
+
+
 class ShardHandle:
     """An in-flight sharded evaluation: shard futures plus assembly.
 
@@ -307,20 +596,134 @@ class ShardHandle:
     pool but their results are dropped.  The service never charges budget
     for a cancelled handle, which is what makes speculative double-buffered
     submission safe.
+
+    Fault handling inside ``result()``:
+
+    * a shard whose worker died (``BrokenProcessPool``) triggers
+      :meth:`WorkerPool.heal_broken` and is **re-dispatched** on the healed
+      pool — only the lost shard re-runs; sibling results are kept.  When
+      the pool refuses (poisoned / closed), the lost shard is evaluated
+      *in-process* so the job still completes deterministically.
+    * with a :class:`ShardWatchdog`, a shard that outlives its deadline
+      degrades to :data:`~repro.spice.deck.FAILURE_NAN` rows (the
+      never-produced signature: uncacheable, refunded, retried under a
+      service retry policy) and the pool is healed to reclaim the hung
+      worker.
     """
 
-    def __init__(self, futures: List[Future]):
-        self._futures = futures
+    def __init__(
+        self,
+        futures: List[Future],
+        jobs: Optional[List["SimJob"]] = None,
+        pool: Optional[WorkerPool] = None,
+        backend_name: str = "",
+        metric_names: Sequence[str] = (),
+        watchdog: Optional[ShardWatchdog] = None,
+    ):
+        generation = pool.generation if pool is not None else 0
+        if jobs is None:
+            jobs = [None] * len(futures)  # legacy construction (tests)
+        self._shards = [
+            _Shard(job, future, generation)
+            for job, future in zip(jobs, futures)
+        ]
+        self._pool = pool
+        self._backend_name = backend_name
+        self._metric_names = tuple(metric_names)
+        self._watchdog = watchdog
+        #: Shard indices degraded to FAILURE_NAN by the watchdog (observable).
+        self.timed_out_shards: List[int] = []
+        #: Shard indices re-dispatched after a worker death (observable).
+        self.redispatched_shards: List[int] = []
 
     def done(self) -> bool:
-        return all(future.done() for future in self._futures)
+        return all(shard.future.done() for shard in self._shards)
 
     def cancel(self) -> None:
-        for future in self._futures:
-            future.cancel()
+        for shard in self._shards:
+            shard.future.cancel()
+
+    # ------------------------------------------------------------------
+    def _recover_lost_shard(self, index: int, shard: _Shard) -> None:
+        """Re-dispatch one shard whose worker died; in-process fallback
+        when the pool cannot heal."""
+        self.redispatched_shards.append(index)
+        pool = self._pool
+        healthy = (
+            pool is not None
+            and shard.job is not None
+            and pool.heal_broken(shard.generation)
+        )
+        if healthy:
+            shard.generation = pool.generation
+            shard.future = pool.submit(
+                _evaluate_job_shard, self._backend_name, shard.job
+            )
+            return
+        # Last resort: evaluate the lost shard in this process.  A future
+        # is still used so the assembly loop below stays uniform.
+        fallback: Future = Future()
+        if shard.job is None:
+            fallback.set_exception(
+                BrokenProcessPool("worker died and no shard job was recorded")
+            )
+        else:
+            try:
+                fallback.set_result(
+                    _evaluate_job_shard(self._backend_name, shard.job)
+                )
+            except BaseException as error:  # pragma: no cover - engine bug
+                fallback.set_exception(error)
+        shard.future = fallback
 
     def result(self, timeout: Optional[float] = None) -> Dict[str, np.ndarray]:
-        results = [future.result(timeout) for future in self._futures]
+        blocks: List[Optional[Dict[str, np.ndarray]]] = [None] * len(
+            self._shards
+        )
+        for index, shard in enumerate(self._shards):
+            deadline = timeout
+            if self._watchdog is not None and shard.job is not None:
+                deadline = self._watchdog.deadline(shard.job.batch)
+            attempts = 0
+            while blocks[index] is None:
+                try:
+                    blocks[index] = shard.future.result(deadline)
+                except (BrokenProcessPool, CancelledError):
+                    # A dead worker breaks every in-flight future; a heal
+                    # (triggered by a sibling shard or a watchdog) cancels
+                    # the old executor's queued ones.  Both mean the same
+                    # thing here: this shard's work was lost — recover it.
+                    attempts += 1
+                    # One recovery per heal budget: the in-process fallback
+                    # inside _recover_lost_shard is terminal, so this loop
+                    # can only spin while the pool keeps healing — which
+                    # max_heals bounds.
+                    if attempts > (
+                        (self._pool.max_heals if self._pool else 0) + 1
+                    ):
+                        raise
+                    self._recover_lost_shard(index, shard)
+                except FuturesTimeoutError:
+                    if self._watchdog is None or shard.job is None:
+                        raise  # caller-supplied timeout: legacy behaviour
+                    # Watchdog expiry: degrade to never-produced rows and
+                    # reclaim the hung worker.  The FAILURE_NAN signature
+                    # keeps the block uncacheable and lets a retrying
+                    # service refund + re-simulate it.
+                    self.timed_out_shards.append(index)
+                    warnings.warn(
+                        f"shard {index} ({shard.job.batch} rows) exceeded "
+                        f"its {deadline:.1f}s watchdog deadline; degrading "
+                        f"to FAILURE_NAN rows and healing the pool",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    blocks[index] = _failure_block(
+                        shard.job, self._metric_names
+                    )
+                    if self._pool is not None:
+                        self._pool.heal(reason="hung shard")
+        results = [block for block in blocks if block is not None]
         return {
             metric: np.concatenate([result[metric] for result in results])
             for metric in results[0]
@@ -368,29 +771,63 @@ def dispatch_job_sharded(
     backend: "SimulationBackend",
     job: "SimJob",
     pool: Optional[WorkerPool],
+    watchdog: Optional[ShardWatchdog] = None,
 ) -> Optional[ShardHandle]:
     """Submit one job's row shards to ``pool`` without blocking.
 
     Returns a :class:`ShardHandle`, or ``None`` whenever sharding is not
-    applicable (no pool, small batch, unregistered circuit, non-terminal
-    backend) so the caller evaluates in-process instead.
+    applicable (no pool, closed or poisoned pool, small batch, unregistered
+    circuit, non-terminal backend) so the caller evaluates in-process
+    instead.
     """
-    if pool is None or pool.closed:
+    if pool is None or pool.closed or pool.poisoned:
         return None
     batch = job.batch
     if not shardable(circuit, backend, pool.workers, batch):
         return None
     shards = min(pool.workers, batch)
     bounds = np.linspace(0, batch, shards + 1).astype(int)
-    futures = []
+    shard_jobs = []
     for shard in range(shards):
         lo, hi = int(bounds[shard]), int(bounds[shard + 1])
-        if lo == hi:
-            continue
-        futures.append(
-            pool.submit(_evaluate_job_shard, backend.name, job.shard(lo, hi))
-        )
-    return ShardHandle(futures)
+        if lo != hi:
+            shard_jobs.append(job.shard(lo, hi))
+    futures = []
+    jobs = []
+    for shard_job in shard_jobs:
+        try:
+            future = pool.submit(_evaluate_job_shard, backend.name, shard_job)
+        except BrokenProcessPool:
+            # A previous job's worker death is discovered here, at submit
+            # time: the executor broke after its last result was consumed,
+            # so no ShardHandle ever saw the breakage.  Heal once and
+            # restart the dispatch on the fresh executor; if the pool
+            # refuses (cap spent), fall back in-process.
+            if not pool.heal_broken(pool.generation, reason="broken at submit"):
+                return None
+            for stale in futures:
+                stale.cancel()
+            futures = []
+            jobs = []
+            try:
+                futures = [
+                    pool.submit(_evaluate_job_shard, backend.name, sub_job)
+                    for sub_job in shard_jobs
+                ]
+            except (BrokenProcessPool, RuntimeError):
+                return None  # freshly healed pool broke again: give up
+            jobs = list(shard_jobs)
+            break
+        futures.append(future)
+        jobs.append(shard_job)
+    return ShardHandle(
+        futures,
+        jobs=jobs,
+        pool=pool,
+        backend_name=backend.name,
+        metric_names=circuit.metric_names,
+        watchdog=watchdog,
+    )
 
 
 def run_job_sharded(
@@ -398,9 +835,10 @@ def run_job_sharded(
     backend: "SimulationBackend",
     job: "SimJob",
     pool: Optional[WorkerPool],
+    watchdog: Optional[ShardWatchdog] = None,
 ) -> Optional[Dict[str, np.ndarray]]:
     """Blocking convenience wrapper around :func:`dispatch_job_sharded`."""
-    handle = dispatch_job_sharded(circuit, backend, job, pool)
+    handle = dispatch_job_sharded(circuit, backend, job, pool, watchdog)
     if handle is None:
         return None
     return handle.result()

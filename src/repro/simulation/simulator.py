@@ -111,6 +111,7 @@ class CircuitSimulator:
         cache: bool = False,
         cache_dir: Optional[str] = None,
         service: Optional[SimulationService] = None,
+        retry=None,
     ):
         if service is None:
             service = SimulationService(
@@ -120,6 +121,7 @@ class CircuitSimulator:
                 workers=workers,
                 cache=cache,
                 cache_dir=cache_dir,
+                retry=retry,
             )
         self._service = service
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import shutil
+import signal
 import sys
 
 import numpy as np
@@ -52,6 +53,37 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if "requires_ngspice" in item.keywords:
             item.add_marker(skip)
+
+
+#: Per-test wall-clock ceiling for the tier-1 lane (seconds; 0 disables).
+#: A hand-rolled SIGALRM guard because ``pytest-timeout`` is not part of
+#: the baked toolchain: a regression in the hang-handling machinery (a
+#: wedged shard, a watchdog that never fires) fails *that one test* fast
+#: instead of wedging the whole CI run.  Generous by design — the slowest
+#: legitimate tier-1 tests (pool warm-up under load) finish well inside it.
+TIER1_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Arm a per-test deadline around the test body (POSIX main thread)."""
+    if TIER1_TEST_TIMEOUT <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the {TIER1_TEST_TIMEOUT:.0f}s tier-1 "
+            f"per-test timeout guard (REPRO_TEST_TIMEOUT overrides)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, TIER1_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 # ----------------------------------------------------------------------
