@@ -1,0 +1,211 @@
+"""Perf benchmark: the remote simulation fabric.
+
+Two properties are measured and recorded to
+``benchmarks/results/BENCH_remote_fabric.json``:
+
+1. **Localhost round-trip overhead** — the same job stream evaluated
+   through a ``RemoteBackend`` against an in-process
+   :class:`SimulationServer` on loopback versus the in-process ``batched``
+   engine directly.  Bit-identical metrics are asserted before anything is
+   timed; the recorded number is the per-job fabric tax (connect + frame
+   encode/decode + pickle both ways) that a deployment pays for moving
+   simulation off-box.
+
+2. **Recovery under a kill schedule** — a client streaming jobs while the
+   server is stopped mid-stream and later restarted on the same port.
+   Recorded: how long the client takes to *degrade* (first job completed
+   on the local fallback after the kill, dominated by the connect timeout
+   until the breaker opens, then ~free) and how long to *recover* (first
+   job served remotely again after the restart, dominated by the
+   breaker's half-open reset window).
+
+Numbers are wall-clock on loopback; they track trends across PRs rather
+than absolute network performance.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from harness import write_bench_json
+from repro.circuits import StrongArmLatch
+from repro.simulation import SimJob, SimulationServer
+from repro.simulation.remote import RemoteBackend
+from repro.simulation.service import resolve_backend
+from repro.variation.corners import typical_corner
+
+pytestmark = pytest.mark.perf
+
+JOBS = 24
+ROWS = 16
+BREAKER_RESET_SECONDS = 0.5
+
+
+def _jobs(circuit):
+    rng = np.random.default_rng(0)
+    return [
+        SimJob.conditions(
+            circuit.name,
+            rng.uniform(0.2, 0.8, circuit.dimension),
+            (typical_corner(),),
+            rng.standard_normal((ROWS, circuit.mismatch_dimension)),
+        )
+        for _ in range(JOBS)
+    ]
+
+
+def _round_trip_block(circuit, jobs) -> dict:
+    local = resolve_backend("batched")
+    references = [local.evaluate(circuit, job) for job in jobs]
+
+    # retention_seconds=0: the timed loop resubmits the same jobs, and a
+    # retained result would make the "round trip" a dictionary lookup.
+    with SimulationServer(
+        heartbeat_interval=0.5, retention_seconds=0.0
+    ) as server:
+        remote = RemoteBackend(
+            endpoints=server.endpoint, attempts=1, connect_timeout=2.0
+        )
+        # Equivalence before timing.
+        for job, reference in zip(jobs, references):
+            result = remote.evaluate(circuit, job)
+            for name in circuit.metric_names:
+                np.testing.assert_array_equal(result[name], reference[name])
+        assert remote.fallback_used == 0
+
+        start = time.perf_counter()
+        for job in jobs:
+            remote.evaluate(circuit, job)
+        remote_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for job in jobs:
+        local.evaluate(circuit, job)
+    local_seconds = time.perf_counter() - start
+
+    per_job_overhead = (remote_seconds - local_seconds) / len(jobs)
+    return {
+        "jobs": len(jobs),
+        "rows_per_job": ROWS,
+        "local_seconds": local_seconds,
+        "remote_seconds": remote_seconds,
+        "per_job_overhead_seconds": max(per_job_overhead, 0.0),
+        "overhead_ratio": remote_seconds / local_seconds,
+    }
+
+
+def _recovery_block(circuit, jobs) -> dict:
+    local = resolve_backend("batched")
+    server = SimulationServer(heartbeat_interval=0.2).start()
+    host, port = server.address
+    remote = RemoteBackend(
+        endpoints=f"{host}:{port}",
+        attempts=1,
+        connect_timeout=1.0,
+        breaker_threshold=1,
+        breaker_reset_seconds=BREAKER_RESET_SECONDS,
+    )
+    try:
+        # Warm path: a few jobs through the live server.
+        for job in jobs[:4]:
+            remote.evaluate(circuit, job)
+        assert remote.remote_evaluations == 4
+
+        # Kill. The next job must detect the dead endpoint, open the
+        # breaker, and finish on the fallback.
+        server.stop()
+        start = time.perf_counter()
+        result = remote.evaluate(circuit, jobs[4])
+        degrade_seconds = time.perf_counter() - start
+        assert remote.fallback_used == 1
+        reference = local.evaluate(circuit, jobs[4])
+        for name in circuit.metric_names:
+            np.testing.assert_array_equal(result[name], reference[name])
+
+        # With the breaker open, subsequent jobs pay (almost) nothing.
+        start = time.perf_counter()
+        remote.evaluate(circuit, jobs[5])
+        open_breaker_seconds = time.perf_counter() - start
+
+        # Restart on the same port; stream jobs until one goes remote
+        # again (the half-open probe after the reset window).
+        restart = time.perf_counter()
+        for _ in range(100):
+            try:
+                server = SimulationServer(
+                    port=port, heartbeat_interval=0.2
+                ).start()
+                break
+            except OSError:
+                time.sleep(0.05)
+        else:
+            raise RuntimeError(f"could not rebind port {port}")
+        remote_before = remote.remote_evaluations
+        recovery_seconds = None
+        for job in jobs[6:]:
+            remote.evaluate(circuit, job)
+            if remote.remote_evaluations > remote_before:
+                recovery_seconds = time.perf_counter() - restart
+                break
+            time.sleep(0.05)
+        assert recovery_seconds is not None, "fabric never recovered"
+    finally:
+        server.stop()
+    return {
+        "breaker_reset_seconds": BREAKER_RESET_SECONDS,
+        "degrade_seconds": degrade_seconds,
+        "open_breaker_fallback_seconds": open_breaker_seconds,
+        "recovery_seconds": recovery_seconds,
+    }
+
+
+@pytest.mark.perf
+def test_remote_fabric_overhead_and_recovery():
+    circuit = StrongArmLatch()
+    jobs = _jobs(circuit)
+
+    round_trip = _round_trip_block(circuit, jobs)
+    recovery = _recovery_block(circuit, jobs)
+
+    report = {
+        "description": (
+            "Remote simulation fabric: localhost round-trip overhead of "
+            "RemoteBackend against an in-process SimulationServer versus "
+            "the in-process batched engine (bit-identical metrics asserted "
+            "before timing), and recovery latency under a kill schedule — "
+            "time to degrade to the local fallback after the server dies, "
+            "the near-zero cost of an open circuit breaker, and time until "
+            "the half-open probe restores remote execution after a restart "
+            "on the same port."
+        ),
+        "round_trip": round_trip,
+        "recovery": recovery,
+    }
+    path = write_bench_json("remote_fabric", report)
+    print(f"\nremote-fabric benchmark -> {path}")
+    print(
+        f"  round trip: {round_trip['per_job_overhead_seconds']*1e3:.2f} ms "
+        f"per job fabric tax ({round_trip['overhead_ratio']:.1f}x the "
+        f"in-process engine on {ROWS}-row jobs)"
+    )
+    print(
+        f"  recovery:   degrade {recovery['degrade_seconds']*1e3:.0f} ms, "
+        f"open-breaker fallback "
+        f"{recovery['open_breaker_fallback_seconds']*1e3:.1f} ms, "
+        f"remote again {recovery['recovery_seconds']*1e3:.0f} ms after "
+        f"restart"
+    )
+
+    # Sanity floors, not absolute perf claims: degrade must not hang
+    # (bounded by attempts x connect timeout plus slack), the open
+    # breaker must be far cheaper than the first detection, and the
+    # fabric must resume within a few reset windows.
+    assert recovery["degrade_seconds"] < 10.0, report
+    assert (
+        recovery["open_breaker_fallback_seconds"]
+        < recovery["degrade_seconds"] + 0.5
+    ), report
+    assert recovery["recovery_seconds"] < 30.0, report

@@ -24,6 +24,12 @@ Examples::
     python -m repro cache prune ./simcache --max-bytes 500000000
     python -m repro cache clear ./simcache
 
+    # Remote simulation fabric: a worker daemon in one terminal ...
+    python -m repro serve --backend batched --port 7741
+    # ... and any number of sizing runs shipping jobs to it.
+    python -m repro --circuit sal --method C --backend remote \
+        --endpoints 127.0.0.1:7741
+
 The same binary is installed as the ``repro`` console script (setup.py).
 """
 
@@ -103,6 +109,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "simulator binary for --backend ngspice (sets $REPRO_NGSPICE; "
             "default: ngspice on PATH)"
+        ),
+    )
+    parser.add_argument(
+        "--endpoints",
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help=(
+            "repro serve daemons for --backend remote (sets "
+            "$REPRO_REMOTE_ENDPOINTS); jobs degrade to a local backend "
+            "when the fleet is unreachable"
         ),
     )
     parser.add_argument(
@@ -262,6 +277,7 @@ def _resolve_config(args: argparse.Namespace) -> api.ExperimentConfig:
         "optimization_samples": args.optimization_samples,
         "verification_samples": args.verification_samples,
         "backend": args.backend,
+        "endpoints": args.endpoints,
         "workers": args.workers,
         "cache_simulations": args.cache,
         "cache_dir": args.cache_dir,
@@ -327,6 +343,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     # flag-style interface stays untouched.
     if arguments and arguments[0] == "cache":
         return cache_main(arguments[1:])
+    if arguments and arguments[0] == "serve":
+        from repro.simulation.server import serve_main
+
+        return serve_main(arguments[1:])
 
     parser = build_parser()
     args = parser.parse_args(arguments)

@@ -102,6 +102,14 @@ class ExperimentConfig:
     optimization_samples: int = 3
     verification_samples: Optional[int] = None
     backend: str = "batched"
+    #: ``repro serve`` daemons for ``backend="remote"``: a tuple of
+    #: ``"host:port"`` strings (a comma-separated string is accepted and
+    #: normalized).  Published to ``REPRO_REMOTE_ENDPOINTS`` for the
+    #: seed's run.  Deliberately **excluded from the checkpoint
+    #: fingerprint**: where jobs execute never changes what they compute
+    #: (the fabric is bit-identical to local evaluation), so pointing a
+    #: resumed sweep at different workers must not invalidate snapshots.
+    endpoints: Optional[Tuple[str, ...]] = None
     workers: int = 1
     cache_simulations: bool = False
     #: Cross-process simulation cache directory (implies
@@ -136,6 +144,22 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
         object.__setattr__(self, "overrides", dict(self.overrides))
+        if self.endpoints is not None:
+            spec = self.endpoints
+            parts = (
+                spec.split(",") if isinstance(spec, str) else list(spec)
+            )
+            normalized = tuple(
+                str(part).strip() for part in parts if str(part).strip()
+            )
+            # Validate the host:port shape now — a malformed endpoint
+            # must fail at config time, not mid-run.
+            from repro.simulation.remote import parse_endpoints
+
+            parse_endpoints(normalized)
+            object.__setattr__(
+                self, "endpoints", normalized if normalized else None
+            )
         if self.retry is not None:
             # Normalize to the dict form (lossless JSON round trip) and
             # fail fast on malformed policies.
@@ -207,6 +231,8 @@ class ExperimentConfig:
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)
         payload["seeds"] = list(self.seeds)
+        if self.endpoints is not None:
+            payload["endpoints"] = list(self.endpoints)
         return payload
 
     @classmethod
@@ -378,8 +404,10 @@ CHECKPOINT_FORMAT_VERSION = 1
 
 #: Config fields that do not change what one seed computes, and therefore
 #: do not participate in the checkpoint fingerprint: the seed list itself
-#: (each checkpoint is per-seed), and where checkpoints live.
-_FINGERPRINT_EXCLUDED_FIELDS = ("seeds", "checkpoint_dir")
+#: (each checkpoint is per-seed), where checkpoints live, and which
+#: remote endpoints execute the jobs (the fabric is bit-identical to
+#: local evaluation by construction).
+_FINGERPRINT_EXCLUDED_FIELDS = ("seeds", "checkpoint_dir", "endpoints")
 
 
 def _config_fingerprint(config: ExperimentConfig) -> str:
@@ -477,6 +505,17 @@ def write_checkpoint(
 def _run_seed(config: ExperimentConfig, seed: int) -> OptimizationResult:
     circuit = config.build_circuit()
     optimizer_cls = ALGORITHMS[config.algorithm]
+    restore_endpoints: Optional[str] = None
+    endpoints_set = False
+    if config.endpoints:
+        # RemoteBackend is environment-configured (the ngspice pattern);
+        # publish the fleet for this seed and restore afterwards so one
+        # experiment's endpoints never leak into the next.
+        from repro.simulation.remote import ENDPOINTS_ENV
+
+        restore_endpoints = os.environ.get(ENDPOINTS_ENV)
+        os.environ[ENDPOINTS_ENV] = ",".join(config.endpoints)
+        endpoints_set = True
     optimizer = optimizer_cls(circuit, config.glova_config(seed))
     try:
         return optimizer.run()
@@ -484,6 +523,13 @@ def _run_seed(config: ExperimentConfig, seed: int) -> OptimizationResult:
         # Every optimizer owns a CircuitSimulator; release its service's
         # worker pool so per-seed pools never accumulate across a sweep.
         optimizer.simulator.close()
+        if endpoints_set:
+            from repro.simulation.remote import ENDPOINTS_ENV
+
+            if restore_endpoints is None:
+                os.environ.pop(ENDPOINTS_ENV, None)
+            else:
+                os.environ[ENDPOINTS_ENV] = restore_endpoints
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentReport:

@@ -20,7 +20,13 @@ corner block × mismatch block + phase tag) evaluated by a
 * :class:`FaultInjectingBackend` — the chaos harness: wraps any terminal
   backend with seeded, scriptable fault schedules (raise / hang /
   kill-own-worker / FAILURE_NAN) so the fault-tolerance paths are
-  exercised deterministically (:mod:`repro.simulation.faults`).
+  exercised deterministically (:mod:`repro.simulation.faults`);
+* :class:`RemoteBackend` — ships jobs to ``repro serve`` worker daemons
+  (:class:`SimulationServer`) over a length-prefixed checksummed frame
+  protocol, with per-endpoint circuit breakers, retries with seeded
+  backoff, server-side leases/result retention, and graceful degradation
+  to a local backend when the fleet is down (:mod:`repro.simulation.remote`
+  / :mod:`repro.simulation.server` / :mod:`repro.simulation.protocol`).
 
 Fault tolerance: a :class:`RetryPolicy` on the service re-simulates
 classified-transient failures (worker death, timeouts, engine errors,
@@ -85,8 +91,16 @@ from repro.simulation.faults import (  # registers the "chaos" backend
     ChaosFault,
     FaultInjectingBackend,
     FaultSchedule,
+    NetworkFaultSchedule,
     install_chaos,
+    install_network_chaos,
 )
+from repro.simulation.protocol import ProtocolError, RemoteError
+from repro.simulation.remote import (  # registers the "remote" backend
+    CircuitBreaker,
+    RemoteBackend,
+)
+from repro.simulation.server import SimulationServer
 from repro.simulation.simulator import CircuitSimulator
 
 __all__ = [
@@ -111,7 +125,14 @@ __all__ = [
     "ChaosFault",
     "FaultInjectingBackend",
     "FaultSchedule",
+    "NetworkFaultSchedule",
     "install_chaos",
+    "install_network_chaos",
+    "ProtocolError",
+    "RemoteError",
+    "CircuitBreaker",
+    "RemoteBackend",
+    "SimulationServer",
     "CachingBackend",
     "ShardedDispatcher",
     "RetryPolicy",

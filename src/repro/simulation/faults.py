@@ -49,6 +49,15 @@ whole configuration from ``REPRO_CHAOS_*`` environment variables (see
 :meth:`FaultSchedule.from_env` / :meth:`FaultSchedule.to_env`), which is
 what makes the chaos backend ``worker_reconstructible`` and therefore
 shardable — chaos runs exercise the *real* pool paths.
+
+**Network chaos.**  The remote fabric (:mod:`repro.simulation.protocol` /
+``repro serve``) has its own failure surface — frames dropped, delayed,
+truncated mid-send, or duplicated.  :class:`NetworkFaultSchedule` scripts
+those with the same seeded targeting and cross-process ticket accounting:
+:func:`install_network_chaos` arms a plan (module-global plus
+``REPRO_NETCHAOS_*`` env so a ``repro serve`` child process injects too),
+and :func:`repro.simulation.protocol.send_frame` consults
+:func:`active_network_chaos` on every outgoing frame.
 """
 
 from __future__ import annotations
@@ -83,7 +92,17 @@ SEED_ENV = "REPRO_CHAOS_SEED"
 PROBABILITY_ENV = "REPRO_CHAOS_PROBABILITY"
 KILL_EXIT_CODE_ENV = "REPRO_CHAOS_EXIT_CODE"
 
+#: Environment variables carrying a *network* chaos plan across process
+#: boundaries (a ``repro serve`` child must inject server-side too).
+NET_MODE_ENV = "REPRO_NETCHAOS_MODE"
+NET_FAULTS_ENV = "REPRO_NETCHAOS_FAULTS"
+NET_TICKET_DIR_ENV = "REPRO_NETCHAOS_TICKETS"
+NET_DELAY_SECONDS_ENV = "REPRO_NETCHAOS_DELAY_SECONDS"
+NET_SEED_ENV = "REPRO_NETCHAOS_SEED"
+NET_PROBABILITY_ENV = "REPRO_NETCHAOS_PROBABILITY"
+
 VALID_MODES = ("raise", "hang", "kill", "nan")
+VALID_NETWORK_MODES = ("drop", "delay", "truncate", "duplicate")
 
 
 class ChaosFault(NgspiceError):
@@ -99,6 +118,72 @@ class ChaosFault(NgspiceError):
 def _in_pool_worker() -> bool:
     """True inside a ``ProcessPoolExecutor`` worker (any start method)."""
     return multiprocessing.current_process().name != "MainProcess"
+
+
+# ----------------------------------------------------------------------
+# Ticket-file accounting, shared by backend and network schedules
+# ----------------------------------------------------------------------
+def _arm_tickets(ticket_dir: str, count: int) -> int:
+    """Write ``count`` one-shot ticket files into ``ticket_dir``."""
+    os.makedirs(ticket_dir, exist_ok=True)
+    for _ in range(count):
+        path = os.path.join(ticket_dir, f"ticket-{uuid.uuid4().hex}")
+        with open(path, "w") as handle:
+            handle.write("armed\n")
+    return count
+
+
+def _tickets_left(ticket_dir: Optional[str]) -> int:
+    if ticket_dir is None or not os.path.isdir(ticket_dir):
+        return 0
+    return len(
+        [
+            name
+            for name in os.listdir(ticket_dir)
+            if name.startswith("ticket-")
+        ]
+    )
+
+
+def _claim_one_ticket(ticket_dir: Optional[str]) -> bool:
+    """Atomically consume one ticket file; False when none remain.
+
+    ``os.unlink`` is the claim: on POSIX exactly one process wins a
+    given file, so N tickets yield exactly N faults fleet-wide no
+    matter how many workers race.
+    """
+    if ticket_dir is None or not os.path.isdir(ticket_dir):
+        return False
+    for name in sorted(os.listdir(ticket_dir)):
+        if not name.startswith("ticket-"):
+            continue
+        try:
+            os.unlink(os.path.join(ticket_dir, name))
+        except FileNotFoundError:
+            continue  # another process won this ticket; try the next
+        return True
+    return False
+
+
+def _disarm_tickets(ticket_dir: Optional[str]) -> int:
+    """Remove every unclaimed ticket file; returns how many were removed.
+
+    Chaos runs that end with tickets unclaimed (a schedule armed more
+    faults than the run consumed) would otherwise leak ``ticket-*`` files
+    into tmp directories — teardown should always disarm.
+    """
+    if ticket_dir is None or not os.path.isdir(ticket_dir):
+        return 0
+    removed = 0
+    for name in os.listdir(ticket_dir):
+        if not name.startswith("ticket-"):
+            continue
+        try:
+            os.unlink(os.path.join(ticket_dir, name))
+        except FileNotFoundError:
+            continue
+        removed += 1
+    return removed
 
 
 @dataclass(frozen=True)
@@ -147,44 +232,22 @@ class FaultSchedule:
             raise ValueError("arm() requires a ticket_dir")
         if self.faults is None:
             raise ValueError("arm() requires a bounded fault count")
-        os.makedirs(self.ticket_dir, exist_ok=True)
-        for _ in range(self.faults):
-            path = os.path.join(
-                self.ticket_dir, f"ticket-{uuid.uuid4().hex}"
-            )
-            with open(path, "w") as handle:
-                handle.write("armed\n")
-        return self.faults
+        return _arm_tickets(self.ticket_dir, self.faults)
 
     def tickets_left(self) -> int:
-        if self.ticket_dir is None or not os.path.isdir(self.ticket_dir):
-            return 0
-        return len(
-            [
-                name
-                for name in os.listdir(self.ticket_dir)
-                if name.startswith("ticket-")
-            ]
-        )
+        return _tickets_left(self.ticket_dir)
+
+    def disarm(self) -> int:
+        """Remove unclaimed ticket files; returns how many were removed.
+
+        The teardown counterpart of :meth:`arm` — call it when a chaos
+        run ends so leftover tickets neither leak into tmp directories
+        nor arm a *later* schedule that reuses the same directory.
+        """
+        return _disarm_tickets(self.ticket_dir)
 
     def _claim_ticket(self) -> bool:
-        """Atomically consume one ticket file; False when none remain.
-
-        ``os.unlink`` is the claim: on POSIX exactly one process wins a
-        given file, so N tickets yield exactly N faults fleet-wide no
-        matter how many workers race.
-        """
-        if self.ticket_dir is None or not os.path.isdir(self.ticket_dir):
-            return False
-        for name in sorted(os.listdir(self.ticket_dir)):
-            if not name.startswith("ticket-"):
-                continue
-            try:
-                os.unlink(os.path.join(self.ticket_dir, name))
-            except FileNotFoundError:
-                continue  # another process won this ticket; try the next
-            return True
-        return False
+        return _claim_one_ticket(self.ticket_dir)
 
     # ------------------------------------------------------------------
     # Seeded targeting
@@ -342,9 +405,201 @@ def install_chaos(
     return FaultInjectingBackend(inner_name, schedule)
 
 
+# ----------------------------------------------------------------------
+# Network chaos (remote fabric)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NetworkFaultSchedule:
+    """What to do to outgoing protocol frames, and how often.
+
+    ========   ==========================================================
+    mode       behaviour when a fault fires (in ``send_frame``)
+    ========   ==========================================================
+    drop       abort the connection without sending — the peer sees EOF
+    delay      sleep ``delay_seconds`` before an otherwise normal send
+    truncate   send roughly half the frame, then hard-close (RST) — the
+               peer's ``recv_frame`` dies mid-read with a typed error
+    duplicate  send the frame twice — exercises hash-keyed idempotency
+    ========   ==========================================================
+
+    Accounting and targeting mirror :class:`FaultSchedule`: a ticket
+    directory bounds injections fleet-wide (client *and* a ``repro
+    serve`` child process), and ``probability`` draws per-request
+    eligibility from ``default_rng([seed, request_hash])`` so the same
+    request gets the same decision in every process.
+    """
+
+    mode: str = "drop"
+    faults: Optional[int] = 1
+    ticket_dir: Optional[str] = None
+    delay_seconds: float = 0.05
+    probability: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.mode not in VALID_NETWORK_MODES:
+            raise ValueError(
+                f"unknown network chaos mode {self.mode!r}; "
+                f"valid: {VALID_NETWORK_MODES}"
+            )
+        if self.faults is not None and self.faults < 0:
+            raise ValueError("faults must be non-negative or None")
+
+    # -- ticket accounting (same semantics as FaultSchedule) -----------
+    def arm(self) -> int:
+        if self.ticket_dir is None:
+            raise ValueError("arm() requires a ticket_dir")
+        if self.faults is None:
+            raise ValueError("arm() requires a bounded fault count")
+        return _arm_tickets(self.ticket_dir, self.faults)
+
+    def tickets_left(self) -> int:
+        return _tickets_left(self.ticket_dir)
+
+    def disarm(self) -> int:
+        """Remove unclaimed ticket files; returns how many were removed."""
+        return _disarm_tickets(self.ticket_dir)
+
+    def _claim_ticket(self) -> bool:
+        return _claim_one_ticket(self.ticket_dir)
+
+    def eligible(self, request_hex: str) -> bool:
+        """Seeded per-request targeting (before ticket accounting)."""
+        if self.probability is None:
+            return True
+        try:
+            key = int(request_hex[:16], 16) % (2**32)
+        except ValueError:
+            key = 0
+        draw = np.random.default_rng([self.seed, key]).random()
+        return bool(draw < self.probability)
+
+    # -- environment round trip ----------------------------------------
+    def to_env(self) -> Dict[str, str]:
+        return {
+            NET_MODE_ENV: self.mode,
+            NET_FAULTS_ENV: "" if self.faults is None else str(self.faults),
+            NET_TICKET_DIR_ENV: self.ticket_dir or "",
+            NET_DELAY_SECONDS_ENV: repr(float(self.delay_seconds)),
+            NET_SEED_ENV: str(self.seed),
+            NET_PROBABILITY_ENV: (
+                "" if self.probability is None else repr(self.probability)
+            ),
+        }
+
+    def apply_env(self) -> None:
+        os.environ.update(self.to_env())
+
+    @classmethod
+    def from_env(cls) -> "NetworkFaultSchedule":
+        faults_raw = os.environ.get(NET_FAULTS_ENV, "1")
+        probability_raw = os.environ.get(NET_PROBABILITY_ENV, "")
+        return cls(
+            mode=os.environ.get(NET_MODE_ENV, "drop"),
+            faults=int(faults_raw) if faults_raw else None,
+            ticket_dir=os.environ.get(NET_TICKET_DIR_ENV) or None,
+            delay_seconds=float(
+                os.environ.get(NET_DELAY_SECONDS_ENV, "0.05")
+            ),
+            probability=float(probability_raw) if probability_raw else None,
+            seed=int(os.environ.get(NET_SEED_ENV, "0")),
+        )
+
+
+class NetworkChaos:
+    """A live network-fault plan: one schedule plus mutable accounting.
+
+    Injected-fault counting lives here (not on the frozen schedule):
+    with a ticket directory the count is fleet-wide and crash-safe;
+    without one it is a per-process counter — right for single-process
+    tests, wrong across a ``repro serve`` boundary (use tickets there).
+    """
+
+    def __init__(self, schedule: NetworkFaultSchedule):
+        self.schedule = schedule
+        self._local_faults_left = (
+            schedule.faults if schedule.ticket_dir is None else None
+        )
+        #: Faults injected through *this* plan object (observable).
+        self.injected = 0
+
+    def claim(self, request_hex: str) -> Optional[str]:
+        """The action for one outgoing frame, or ``None`` (send normally)."""
+        schedule = self.schedule
+        if not schedule.eligible(request_hex):
+            return None
+        if schedule.ticket_dir is not None:
+            if not schedule._claim_ticket():
+                return None
+        elif self._local_faults_left is not None:
+            if self._local_faults_left <= 0:
+                return None
+            self._local_faults_left -= 1
+        self.injected += 1
+        return schedule.mode
+
+
+#: The process-local active plan, set by :func:`install_network_chaos`.
+_ACTIVE_NETWORK_CHAOS: Optional[NetworkChaos] = None
+
+
+def install_network_chaos(
+    schedule: Optional[NetworkFaultSchedule],
+    arm: bool = True,
+    publish_env: bool = True,
+) -> Optional[NetworkChaos]:
+    """Activate (or with ``None``, deactivate) a network-fault plan.
+
+    Sets the process-local plan consulted by ``send_frame``, optionally
+    publishes ``REPRO_NETCHAOS_*`` so child processes (a ``repro serve``
+    daemon) rebuild and inject on their side too, and arms the ticket
+    directory.  Deactivating also scrubs the environment variables.
+    """
+    global _ACTIVE_NETWORK_CHAOS
+    if schedule is None:
+        _ACTIVE_NETWORK_CHAOS = None
+        for key in (
+            NET_MODE_ENV,
+            NET_FAULTS_ENV,
+            NET_TICKET_DIR_ENV,
+            NET_DELAY_SECONDS_ENV,
+            NET_SEED_ENV,
+            NET_PROBABILITY_ENV,
+        ):
+            os.environ.pop(key, None)
+        return None
+    if publish_env:
+        schedule.apply_env()
+    if arm and schedule.ticket_dir is not None and schedule.faults is not None:
+        schedule.arm()
+    _ACTIVE_NETWORK_CHAOS = NetworkChaos(schedule)
+    return _ACTIVE_NETWORK_CHAOS
+
+
+def active_network_chaos() -> Optional[NetworkChaos]:
+    """The plan ``send_frame`` should apply, if any.
+
+    Process-local installation wins; otherwise a plan published to the
+    environment by a parent process (``REPRO_NETCHAOS_MODE`` set) is
+    rebuilt once and cached — this is how a ``repro serve`` child starts
+    injecting without any code on its command line.
+    """
+    global _ACTIVE_NETWORK_CHAOS
+    if _ACTIVE_NETWORK_CHAOS is not None:
+        return _ACTIVE_NETWORK_CHAOS
+    if os.environ.get(NET_MODE_ENV):
+        _ACTIVE_NETWORK_CHAOS = NetworkChaos(NetworkFaultSchedule.from_env())
+        return _ACTIVE_NETWORK_CHAOS
+    return None
+
+
 __all__ = [
     "ChaosFault",
     "FaultInjectingBackend",
     "FaultSchedule",
+    "NetworkChaos",
+    "NetworkFaultSchedule",
+    "active_network_chaos",
     "install_chaos",
+    "install_network_chaos",
 ]

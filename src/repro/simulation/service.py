@@ -727,8 +727,15 @@ def resolve_retry(
 
 #: On-disk cache layout version: bumped whenever the spilled ``.npz``
 #: payload changes shape, so stale stores from older builds are ignored
-#: (treated as misses) instead of misread.
-CACHE_FORMAT_VERSION = 1
+#: (treated as misses) instead of misread.  Version 2 spills with
+#: ``np.savez_compressed`` (deflate — metric blocks of repeated spec
+#: values compress well on fleet-shared stores); the *logical* payload is
+#: unchanged, so version-1 uncompressed records remain loadable.
+CACHE_FORMAT_VERSION = 2
+
+#: Disk records stamped with any of these versions decode with the
+#: current loader (``np.load`` is transparent to per-entry compression).
+_COMPATIBLE_CACHE_VERSIONS = frozenset({1, 2})
 
 #: Reserved key carrying the format stamp inside each spilled ``.npz``.
 _CACHE_VERSION_KEY = "__cache_version__"
@@ -745,9 +752,10 @@ class CachingBackend(SimulationBackend):
 
     With ``spill_dir`` the cache is also **persistent across processes**:
     every stored block is written to ``spill_dir/<hash[:2]>/<hash>.npz``
-    (atomic ``os.replace`` of a same-directory temp file, stamped with
-    :data:`CACHE_FORMAT_VERSION`), and a memory miss falls back to the disk
-    store before running the inner backend.  Disk loads apply exactly the
+    (atomic ``os.replace`` of a same-directory temp file, deflate-
+    compressed, stamped with :data:`CACHE_FORMAT_VERSION`; uncompressed
+    stores from older builds keep loading), and a memory miss falls back
+    to the disk store before running the inner backend.  Disk loads apply exactly the
     same admission rule as stores: any block carrying a
     :data:`~repro.spice.deck.FAILURE_NAN`-tagged row — the signature of a
     run the engine never produced — is refused and re-simulated, so a stale
@@ -800,7 +808,7 @@ class CachingBackend(SimulationBackend):
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                np.savez(handle, **payload)
+                np.savez_compressed(handle, **payload)
             os.replace(tmp_path, path)
         except BaseException:
             try:
@@ -818,7 +826,8 @@ class CachingBackend(SimulationBackend):
             with np.load(self._spill_path(job.job_id)) as data:
                 if _CACHE_VERSION_KEY not in data.files:
                     return None
-                if int(data[_CACHE_VERSION_KEY][()]) != CACHE_FORMAT_VERSION:
+                version = int(data[_CACHE_VERSION_KEY][()])
+                if version not in _COMPATIBLE_CACHE_VERSIONS:
                     return None
                 metrics = {
                     name: np.array(data[name], dtype=float)
@@ -917,14 +926,48 @@ def _spill_store_files(cache_dir: str) -> List[Tuple[str, int, float]]:
     return records
 
 
+def _spill_payload_bytes(records: List[Tuple[str, int, float]]) -> int:
+    """Uncompressed array bytes across the store (best effort).
+
+    Every ``.npz`` is a zip archive, so the members' ``file_size`` is the
+    logical payload the deflate layer compressed away.  Records that fail
+    to open (corrupt, mid-write) contribute nothing — this is a reporting
+    aid, not an admission check.
+    """
+    total = 0
+    for path, _size, _mtime in records:
+        try:
+            with zipfile.ZipFile(path) as archive:
+                total += sum(info.file_size for info in archive.infolist())
+        except (OSError, zipfile.BadZipFile):
+            continue
+    return total
+
+
 def spill_store_stats(cache_dir: str) -> Dict[str, object]:
-    """Entry count, byte total and age span of one disk spill store."""
+    """Entry count, byte totals and age span of one disk spill store.
+
+    Always succeeds: a missing or empty ``cache_dir`` yields a zeroed
+    report with ``exists: false`` — a monitoring probe must be able to
+    ask about a store that no run has created yet.  ``total_bytes`` is
+    what the store occupies on disk (compressed since cache format v2);
+    ``payload_bytes`` is the logical array data inside, so the ratio of
+    the two is the achieved compression.
+    """
+    root = os.path.abspath(os.fspath(cache_dir))
     records = _spill_store_files(cache_dir)
     mtimes = [mtime for _path, _size, mtime in records]
+    total_bytes = sum(size for _path, size, _mtime in records)
+    payload_bytes = _spill_payload_bytes(records)
     return {
-        "cache_dir": os.path.abspath(os.fspath(cache_dir)),
+        "cache_dir": root,
+        "exists": os.path.isdir(root),
         "entries": len(records),
-        "total_bytes": sum(size for _path, size, _mtime in records),
+        "total_bytes": total_bytes,
+        "payload_bytes": payload_bytes,
+        "compression_ratio": (
+            round(payload_bytes / total_bytes, 4) if total_bytes else None
+        ),
         "oldest_mtime": min(mtimes) if mtimes else None,
         "newest_mtime": max(mtimes) if mtimes else None,
     }
