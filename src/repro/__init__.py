@@ -109,6 +109,21 @@ Circuits are looked up by name through :mod:`repro.circuits.registry`
 (``@register_circuit`` for testbenches, ``register_circuit_factory`` for
 parameterized netlists such as ``common_source_ladder``).
 
+**One metric code path for every engine.**  Waveform post-processing
+lives in a single dependency-free library,
+:mod:`repro.analysis.waveform`: crossing/delay, slew, overshoot,
+settling and average extractors over raw ``(time, trace)`` arrays.  The
+analytic transient solvers delegate their ``crossing_time`` there, and
+the external ngspice backend's waveform mode
+(``NgspiceBackend(measurement="waveform")``) applies the *same
+functions* to traces parsed from the engine's binary rawfile
+(:mod:`repro.spice.rawfile`), guided by the per-circuit
+:class:`~repro.analysis.waveform.WaveformSpec` declarations — so a
+delay from a real engine and a delay from the analytic engine are the
+same code on different arrays.  Waveform decks probe only what the
+specs name, which lets :mod:`repro.spice.trim` cut the netlist to the
+probed cone of influence before the engine ever sees it.
+
 Performance
 -----------
 The Monte-Carlo/corner hot path is **batched end to end**.  MNA assembly is

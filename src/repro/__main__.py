@@ -24,6 +24,11 @@ Examples::
     python -m repro cache prune ./simcache --max-bytes 500000000
     python -m repro cache clear ./simcache
 
+    # Print the reference ngspice deck for a circuit (golden-deck guard);
+    # waveform mode shows the trimmed .tran+rawfile flavour.
+    python -m repro deck sal
+    python -m repro deck dram --measurement waveform --summary
+
     # Remote simulation fabric: a worker daemon in one terminal ...
     python -m repro serve --backend batched --port 7741
     # ... and any number of sizing runs shipping jobs to it.
@@ -245,6 +250,80 @@ def cache_main(argv: List[str]) -> int:
     return 0
 
 
+def build_deck_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro deck",
+        description=(
+            "compile and print the ngspice deck for a named circuit's "
+            "deterministic reference job (the golden-deck reference) — "
+            "guards deck-format drift and shows exactly what an external "
+            "engine would be handed"
+        ),
+    )
+    parser.add_argument("circuit", help="testbench circuit name or alias")
+    parser.add_argument(
+        "--measurement",
+        choices=("measure", "waveform"),
+        default="measure",
+        help="deck flavour: .measure cards (default) or .tran+rawfile",
+    )
+    parser.add_argument(
+        "--rows", type=int, default=2, metavar="N",
+        help="batch rows in the reference job (default 2: TT + SS corners)",
+    )
+    parser.add_argument(
+        "--no-trim",
+        action="store_true",
+        help="keep the full netlist in waveform mode (skip cone trimming)",
+    )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="print a JSON size/shape summary instead of the deck text",
+    )
+    return parser
+
+
+def deck_main(argv: List[str]) -> int:
+    """The ``repro deck`` subcommand: print a circuit's reference deck."""
+    from repro.spice.deck import compile_job_deck, reference_job
+
+    args = build_deck_parser().parse_args(argv)
+    circuit = get_circuit(args.circuit)
+    if not hasattr(circuit, "metric_names"):
+        print(
+            f"error: {args.circuit!r} is a netlist factory, not a sizing "
+            f"testbench; decks are compiled for testbench circuits",
+            file=sys.stderr,
+        )
+        return 2
+    job = reference_job(circuit, rows=args.rows)
+    trim = False if args.no_trim else None
+    deck = compile_job_deck(
+        job, circuit, measurement=args.measurement, trim=trim
+    )
+    if args.summary:
+        print(
+            json.dumps(
+                {
+                    "circuit": deck.circuit_name,
+                    "rows": deck.rows,
+                    "measurement": deck.measurement,
+                    "metrics": list(deck.metric_names),
+                    "bytes": len(deck.text.encode("utf-8")),
+                    "cards": sum(
+                        1 for line in deck.text.splitlines() if line.strip()
+                    ),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        sys.stdout.write(deck.text)
+    return 0
+
+
 def _list_circuits() -> None:
     print("Testbench circuits (sizing targets):")
     for name in available_circuits(TESTBENCH):
@@ -347,6 +426,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.simulation.server import serve_main
 
         return serve_main(arguments[1:])
+    if arguments and arguments[0] == "deck":
+        return deck_main(arguments[1:])
 
     parser = build_parser()
     args = parser.parse_args(arguments)

@@ -5,11 +5,30 @@ quantities Table II and Table III report (RL iterations, simulation counts,
 normalized runtime, success rate); :mod:`repro.analysis.tables` renders them
 as text tables; :mod:`repro.analysis.experiments` runs the method x
 verification-scenario sweeps the benchmarks are built on.
+
+:mod:`repro.analysis.waveform` is the engine-neutral waveform metric
+library: vectorized crossing/delay/slew/settling/average measurements
+shared by the analytic transient solver and the external-simulator
+rawfile pipeline, plus the :class:`WaveformSpec` declarations circuits
+use to describe how each metric is extracted from traces.
 """
 
 from repro.analysis.metrics import MethodSummary, aggregate_results, normalize_runtimes
 from repro.analysis.tables import format_comparison_table, format_ablation_table
 from repro.analysis.experiments import ExperimentRunner, ExperimentSettings
+from repro.analysis.waveform import (
+    TraceMissingError,
+    WaveformError,
+    WaveformSpec,
+    crossing_time,
+    delay_between,
+    extract_metric,
+    extract_metrics,
+    first_crossing,
+    overshoot,
+    settling_time,
+    slew_time,
+)
 
 __all__ = [
     "MethodSummary",
@@ -19,4 +38,15 @@ __all__ = [
     "format_ablation_table",
     "ExperimentRunner",
     "ExperimentSettings",
+    "TraceMissingError",
+    "WaveformError",
+    "WaveformSpec",
+    "crossing_time",
+    "delay_between",
+    "extract_metric",
+    "extract_metrics",
+    "first_crossing",
+    "overshoot",
+    "settling_time",
+    "slew_time",
 ]

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.waveform import WaveformSpec
 from repro.spice.deck import MeasureSpec
 from repro.variation.corners import CornerBatch, PVTCorner, typical_corner
 from repro.variation.distributions import DeviceKind, DeviceSpec, MismatchModel
@@ -441,6 +442,28 @@ class AnalogCircuit(abc.ABC):
         their testbench nodes and deck parameters.
         """
         return tuple(MeasureSpec(metric) for metric in self.metric_names)
+
+    def waveform_specs(self) -> Tuple["WaveformSpec", ...]:
+        """One :class:`~repro.analysis.waveform.WaveformSpec` per metric.
+
+        Waveform-mode decks (:func:`repro.spice.deck.compile_job_deck` with
+        ``measurement="waveform"``) carry no ``.measure`` cards at all: the
+        engine writes a transient rawfile and every metric is extracted
+        host-side by :mod:`repro.analysis.waveform` according to these
+        declarations.  The default is a *placeholder* per metric — a
+        synthetic ``v(m_<metric>)`` probe with no testbench meaning, which
+        only payload-aware runners (the analytic fake) can honour — and the
+        paper circuits override with recipes on their real probe nodes.
+        """
+        return tuple(
+            WaveformSpec(
+                metric,
+                recipe="final",
+                signal=f"v(m_{metric.lower()})",
+                placeholder=True,
+            )
+            for metric in self.metric_names
+        )
 
     def build_testbench(self, x_physical: np.ndarray, corner: PVTCorner):
         """A structural surrogate testbench netlist for this circuit.

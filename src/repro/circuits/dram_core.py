@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.circuits.base import AnalogCircuit, SizingParameter
 from repro.circuits.registry import register_circuit
+from repro.analysis.waveform import WaveformSpec
 from repro.spice.deck import MeasureSpec
 from repro.spice.mosfet import BOLTZMANN, MosfetModel, nmos_28nm, pmos_28nm
 from repro.spice.netlist import Capacitor, Circuit, GROUND, Mosfet, VoltageSource
@@ -159,6 +160,37 @@ class DramCoreSenseAmp(AnalogCircuit):
                 "tran",
                 "param='(2.0*p_w_nsa*p_l_nsa+2.0*p_w_psa*p_l_psa)"
                 "*0.012*vdd_val*vdd_val'",
+            ),
+        )
+
+    def waveform_specs(self):
+        return (
+            # Sign-flipped bitline splits sampled at distinct capture
+            # instants (d1 samples later so each difference trace is
+            # unambiguous in the rawfile record).
+            WaveformSpec(
+                "neg_delta_v_d0",
+                recipe="value_at",
+                signal="v(bl)",
+                signal_minus="v(blb)",
+                at_time=2.0e-9,
+            ),
+            WaveformSpec(
+                "neg_delta_v_d1",
+                recipe="value_at",
+                signal="v(blb)",
+                signal_minus="v(bl)",
+                at_time=4.0e-9,
+            ),
+            # Gate-charge estimate as a behavioural trace over deck params.
+            WaveformSpec(
+                "energy_per_bit",
+                recipe="final",
+                signal="v(m_energy)",
+                expression=(
+                    "(2.0*p_w_nsa*p_l_nsa+2.0*p_w_psa*p_l_psa)"
+                    "*0.012*vdd_val*vdd_val"
+                ),
             ),
         )
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.circuits.base import AnalogCircuit, SizingParameter
 from repro.circuits.registry import register_circuit
+from repro.analysis.waveform import WaveformSpec
 from repro.spice.deck import MeasureSpec
 from repro.spice.mosfet import BOLTZMANN, MosfetModel, nmos_28nm, pmos_28nm
 from repro.spice.netlist import Capacitor, Circuit, GROUND, Mosfet, Resistor, VoltageSource
@@ -119,6 +120,29 @@ class FloatingInverterAmplifier(AnalogCircuit):
                 "noise",
                 "tran",
                 "param='6.0*sqrt(4.0*1.380649e-23*(temp_val+273.15)/p_c_load)'",
+            ),
+        )
+
+    def waveform_specs(self):
+        # Both FIA metrics are parameter-derived estimates, surfaced as
+        # behavioural traces so real engines report them through the
+        # rawfile like any probed node.
+        return (
+            WaveformSpec(
+                "energy_per_conversion",
+                recipe="final",
+                signal="v(m_energy)",
+                expression=(
+                    "(0.9*p_c_reservoir+2.0*p_c_load)*vdd_val*vdd_val"
+                ),
+            ),
+            WaveformSpec(
+                "noise",
+                recipe="final",
+                signal="v(m_noise)",
+                expression=(
+                    "6.0*sqrt(4.0*1.380649e-23*(temp_val+273.15)/p_c_load)"
+                ),
             ),
         )
 

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.circuits.base import AnalogCircuit, SizingParameter
 from repro.circuits.registry import register_circuit
+from repro.analysis.waveform import WaveformSpec
 from repro.spice.deck import MeasureSpec
 from repro.spice.mosfet import BOLTZMANN, MosfetModel, nmos_28nm, pmos_28nm
 from repro.spice.netlist import Capacitor, Circuit, GROUND, Mosfet, Resistor, VoltageSource
@@ -152,6 +153,39 @@ class StrongArmLatch(AnalogCircuit):
                 "noise",
                 "tran",
                 "param='sqrt(2.0*1.380649e-23*(temp_val+273.15)/p_c_load)'",
+            ),
+        )
+
+    def waveform_specs(self):
+        return (
+            # Supply current x supply voltage, averaged over the record.
+            WaveformSpec(
+                "power", recipe="power_average", signal="i(vvdd)", aux="v(vdd)"
+            ),
+            # The clock edge sits at the transient origin, so the output
+            # crossing's absolute time *is* the regeneration delay.
+            WaveformSpec(
+                "set_delay",
+                recipe="crossing",
+                signal="v(outp)",
+                vdd_scale=0.5,
+                rising=True,
+            ),
+            WaveformSpec(
+                "reset_delay",
+                recipe="crossing",
+                signal="v(outn)",
+                vdd_scale=0.5,
+                rising=False,
+            ),
+            # kT/C estimate as a behavioural trace over the deck params.
+            WaveformSpec(
+                "noise",
+                recipe="final",
+                signal="v(m_noise)",
+                expression=(
+                    "sqrt(2.0*1.380649e-23*(temp_val+273.15)/p_c_load)"
+                ),
             ),
         )
 

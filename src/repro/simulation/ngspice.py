@@ -83,6 +83,13 @@ STRICT_ENV = "REPRO_NGSPICE_STRICT"
 #: process.
 PAYLOAD_AWARE_ENV = "REPRO_NGSPICE_PAYLOAD_AWARE"
 
+#: Environment variable selecting the measurement mode: ``measure`` (the
+#: default; per-metric ``.measure`` cards parsed from the log) or
+#: ``waveform`` (``.tran`` + binary rawfile capture, with all metric
+#: extraction done host-side in :mod:`repro.analysis.waveform`).  Read at
+#: backend construction time, like :data:`PAYLOAD_AWARE_ENV`.
+MEASUREMENT_ENV = "REPRO_NGSPICE_MEASUREMENT"
+
 #: Fallback executable name resolved through PATH.
 DEFAULT_EXECUTABLE = "ngspice"
 
@@ -104,6 +111,9 @@ class NgspiceRun:
     stdout: str = ""
     stderr: str = ""
     timed_out: bool = False
+    #: Raw bytes of the requested rawfile (waveform mode); ``None`` when no
+    #: rawfile was requested or the engine never wrote one.
+    raw_bytes: Optional[bytes] = None
 
     @property
     def ok(self) -> bool:
@@ -146,8 +156,14 @@ class NgspiceRunner:
             return os.path.abspath(resolved)
         return resolved
 
-    def run_deck(self, deck_text: str, tag: str = "job") -> NgspiceRun:
+    def run_deck(
+        self, deck_text: str, tag: str = "job", rawfile: bool = False
+    ) -> NgspiceRun:
         """Execute one deck; never raises for simulator-side failures.
+
+        With ``rawfile=True`` the engine is invoked with ``-r <tag>.raw``
+        (waveform mode) and whatever bytes it writes there are returned on
+        :attr:`NgspiceRun.raw_bytes` before the scratch directory vanishes.
 
         A missing executable raises :class:`NgspiceError` (the deployment is
         broken, not the simulation); everything else — timeouts, nonzero
@@ -166,7 +182,11 @@ class NgspiceRunner:
             log_path = os.path.join(scratch, f"{tag}.log")
             with open(deck_path, "w", encoding="utf-8") as handle:
                 handle.write(deck_text)
-            command = [self.executable, "-b", "-o", log_path, deck_path]
+            raw_path = os.path.join(scratch, f"{tag}.raw")
+            command = [self.executable, "-b"]
+            if rawfile:
+                command += ["-r", raw_path]
+            command += ["-o", log_path, deck_path]
             timed_out = False
             try:
                 process = subprocess.Popen(
@@ -198,6 +218,10 @@ class NgspiceRunner:
             if os.path.exists(log_path):
                 with open(log_path, "r", encoding="utf-8", errors="replace") as handle:
                     log_text = handle.read()
+            raw_bytes: Optional[bytes] = None
+            if rawfile and os.path.exists(raw_path):
+                with open(raw_path, "rb") as handle:
+                    raw_bytes = handle.read()
             return NgspiceRun(
                 command=command,
                 returncode=returncode,
@@ -205,6 +229,7 @@ class NgspiceRunner:
                 stdout=stdout,
                 stderr=stderr,
                 timed_out=timed_out,
+                raw_bytes=raw_bytes,
             )
 
 
@@ -261,6 +286,14 @@ class NgspiceBackend(SimulationBackend):
         which resolves repeated per-row ``.param`` sections last-wins —
         batched jobs are run as one single-row deck per row.  Defaults to
         ``$REPRO_NGSPICE_PAYLOAD_AWARE``.
+    measurement:
+        ``"measure"`` (default) parses per-metric ``.measure`` cards from
+        the engine log; ``"waveform"`` runs ``.tran`` with a binary
+        rawfile per row, parses it (:mod:`repro.spice.rawfile`) and
+        extracts every metric host-side through the circuit's
+        :meth:`waveform_specs` via :mod:`repro.analysis.waveform` — the
+        same code path the analytic engine uses.  Defaults to
+        ``$REPRO_NGSPICE_MEASUREMENT``.
     """
 
     name = "ngspice"
@@ -271,6 +304,7 @@ class NgspiceBackend(SimulationBackend):
         timeout: float = DEFAULT_TIMEOUT,
         strict: Optional[bool] = None,
         payload_aware: Optional[bool] = None,
+        measurement: Optional[str] = None,
     ):
         self.runner = NgspiceRunner(executable=executable, timeout=timeout)
         self.strict = _env_flag(STRICT_ENV) if strict is None else bool(strict)
@@ -279,6 +313,17 @@ class NgspiceBackend(SimulationBackend):
             if payload_aware is None
             else bool(payload_aware)
         )
+        resolved_measurement = (
+            os.environ.get(MEASUREMENT_ENV, "").strip().lower() or "measure"
+            if measurement is None
+            else str(measurement)
+        )
+        if resolved_measurement not in ("measure", "waveform"):
+            raise ValueError(
+                f"unknown measurement mode {resolved_measurement!r} "
+                "(expected 'measure' or 'waveform')"
+            )
+        self.measurement = resolved_measurement
         # Constructor-configured instances cannot be rebuilt by name inside
         # a worker (the zero-argument rebuild reads only the environment),
         # so they must not shard — see `worker_reconstructible`.
@@ -286,6 +331,7 @@ class NgspiceBackend(SimulationBackend):
             executable is None
             and strict is None
             and payload_aware is None
+            and measurement is None
             and timeout == DEFAULT_TIMEOUT
         )
 
@@ -309,20 +355,34 @@ class NgspiceBackend(SimulationBackend):
         rows serially in one process (see
         :func:`repro.simulation.sharding.shardable`).  Payload-aware
         executables evaluate the whole batch from one deck in one
-        subprocess, so the normal rows-per-worker threshold applies.
+        subprocess, so the normal rows-per-worker threshold applies —
+        except in waveform mode, where every row is always its own
+        ``.tran`` + rawfile run.
         """
-        return not self.payload_aware
+        return not self.payload_aware or self.measurement == "waveform"
 
     def compile(self, circuit: AnalogCircuit, job: SimJob) -> Deck:
         """The deck this backend would run for ``job`` (exposed for tests,
         golden files and debugging).  Note that a non-payload-aware engine
         never sees this multi-row deck whole: :meth:`evaluate` hands it one
         single-row deck per batch row instead."""
-        return compile_job_deck(job, circuit)
+        return compile_job_deck(job, circuit, measurement=self.measurement)
 
     def evaluate(
         self, circuit: AnalogCircuit, job: SimJob
     ) -> Dict[str, np.ndarray]:
+        if self.measurement == "waveform":
+            if not self.payload_aware:
+                specs = circuit.waveform_specs()
+                if specs and all(spec.placeholder for spec in specs):
+                    raise NgspiceError(
+                        f"circuit {circuit.name!r} declares only placeholder "
+                        f"waveform specs; a real (non-payload-aware) engine "
+                        f"cannot produce their probe traces — override "
+                        f"waveform_specs() with real probes or run a "
+                        f"payload-aware executable (${PAYLOAD_AWARE_ENV}=1)"
+                    )
+            return self._evaluate_waveform(circuit, job)
         if not self.payload_aware:
             # Deployment error, not a simulation error: a circuit with only
             # placeholder measure specs emits no .meas card at all, so a
@@ -401,6 +461,95 @@ class NgspiceBackend(SimulationBackend):
             warnings.warn(
                 f"{len(failures)}/{job.batch} ngspice row runs failed "
                 f"({detail}); reporting NaN metrics for those rows",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return metrics
+
+    def _evaluate_waveform(
+        self, circuit: AnalogCircuit, job: SimJob
+    ) -> Dict[str, np.ndarray]:
+        """One ``.tran`` + rawfile run per batch row, metrics host-side.
+
+        Per row: compile a trimmed single-row waveform deck, run it with a
+        rawfile request, parse the rawfile (NaN samples allowed — an
+        engine-reported NaN is a genuine failed measurement) and apply the
+        circuit's :meth:`waveform_specs` recipes.  A failed run, a
+        missing/unparseable rawfile, or a missing/short probe trace leaves
+        the affected cells at :data:`FAILURE_NAN` ("the engine never
+        produced this") so the service refunds and refuses to cache them —
+        the identical degradation contract as measure mode, which is what
+        keeps caching, sharding, retry and the remote fabric composing
+        unchanged.
+        """
+        from repro.analysis.waveform import TraceMissingError, extract_metric
+        from repro.spice.rawfile import RawfileError, parse_rawfile
+
+        specs = {spec.metric: spec for spec in circuit.waveform_specs()}
+        metrics = {
+            name: np.full(job.batch, FAILURE_NAN)
+            for name in circuit.metric_names
+        }
+        failures = []
+        for row in range(job.batch):
+            row_job = job.shard(row, row + 1)
+            deck = compile_job_deck(row_job, circuit, measurement="waveform")
+            run = self.runner.run_deck(
+                deck.text, tag=f"{circuit.name}_r{row}", rawfile=True
+            )
+            if not run.ok:
+                if self.strict:
+                    raise NgspiceError(
+                        f"ngspice waveform run failed for row {row} of "
+                        f"{job.batch} ({run.describe_failure()})"
+                    )
+                failures.append((row, run.describe_failure()))
+                continue
+            if run.raw_bytes is None:
+                message = "engine wrote no rawfile"
+                if self.strict:
+                    raise NgspiceError(
+                        f"ngspice waveform run for row {row} of {job.batch}: "
+                        f"{message}"
+                    )
+                failures.append((row, message))
+                continue
+            try:
+                raw = parse_rawfile(run.raw_bytes, allow_nan=True)
+            except RawfileError as error:
+                if self.strict:
+                    raise NgspiceError(
+                        f"unparseable rawfile for row {row} of {job.batch}: "
+                        f"{error}"
+                    ) from error
+                failures.append((row, f"unparseable rawfile: {error}"))
+                continue
+            times = raw.time
+            traces = raw.traces()
+            vdd = float(row_job.row_corners[0].vdd)
+            for name in circuit.metric_names:
+                try:
+                    metrics[name][row] = extract_metric(
+                        specs[name], times, traces, vdd
+                    )
+                except TraceMissingError as error:
+                    # This cell was never produced (probe absent/short):
+                    # keep FAILURE_NAN for it, but let sibling metrics of
+                    # the same row stand.
+                    if self.strict:
+                        raise NgspiceError(
+                            f"waveform metric {name!r} unavailable for row "
+                            f"{row} of {job.batch}: {error}"
+                        ) from error
+                    failures.append((row, f"metric {name}: {error}"))
+        if failures:
+            detail = "; ".join(
+                f"row {row}: {reason}" for row, reason in failures[:3]
+            )
+            warnings.warn(
+                f"{len(failures)} waveform-mode failure(s) across "
+                f"{job.batch} row(s) ({detail}); reporting NaN metrics for "
+                f"the affected cells",
                 RuntimeWarning,
                 stacklevel=3,
             )

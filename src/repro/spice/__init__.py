@@ -12,7 +12,11 @@ simulator built on modified nodal analysis (MNA), with
 * backward-Euler transient analysis (:mod:`repro.spice.transient`),
 * output-referred thermal-noise estimation (:mod:`repro.spice.noise`), and
 * an ngspice-dialect deck compiler + measure-log parser bridging the
-  netlist model to external simulators (:mod:`repro.spice.deck`).
+  netlist model to external simulators (:mod:`repro.spice.deck`),
+* a binary/ascii rawfile reader + writer for waveform-mode measurement
+  (:mod:`repro.spice.rawfile`), and
+* connectivity-based netlist trimming that drops elements outside the
+  cone of influence of the probed nodes (:mod:`repro.spice.trim`).
 
 The behavioural testbenches in :mod:`repro.circuits` use the device model
 directly for their analytic performance expressions and use the solvers for
@@ -50,6 +54,14 @@ from repro.spice.deck import (
     parse_deck_job,
     parse_measure_log,
 )
+from repro.spice.rawfile import (
+    Rawfile,
+    RawfileError,
+    parse_rawfile,
+    read_rawfile,
+    render_rawfile,
+)
+from repro.spice.trim import TrimResult, describe_trim, trim_circuit
 
 __all__ = [
     "Deck",
@@ -58,6 +70,14 @@ __all__ = [
     "compile_job_deck",
     "parse_deck_job",
     "parse_measure_log",
+    "Rawfile",
+    "RawfileError",
+    "parse_rawfile",
+    "read_rawfile",
+    "render_rawfile",
+    "TrimResult",
+    "describe_trim",
+    "trim_circuit",
     "BatchedDCSolution",
     "BatchedMNAStamper",
     "BatchedTransientResult",

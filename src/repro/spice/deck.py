@@ -16,10 +16,21 @@ ngspice-dialect netlist that carries
   card per distinct device polarity/technology;
 * **per-row sections** — ``.param``/``.alter``-style blocks, one per batch
   row, each with alphabetically sorted ``.param`` cards (physical design
-  values, ``vdd_val``, ``temp_val``, process-shift params), a ``.temp``
-  card, the ``.op``/``.tran`` analyses and one ``.measure`` card per metric
-  (:meth:`repro.circuits.base.AnalogCircuit.measure_specs`), row-suffixed so
-  measure names never collide.
+  values, ``vdd_val``, ``temp_val``, process-shift params), the row's
+  ``.model`` cards (corner vth/mobility shifts and element-static
+  mismatch lowered through the analytic engine's ``effective_vth_mu``, and
+  ``lambda`` scaled ``lambda_per_um / L_um`` exactly like the MNA model),
+  a ``.temp`` card, the ``.op``/``.tran`` analyses and one ``.measure``
+  card per metric (:meth:`repro.circuits.base.AnalogCircuit.measure_specs`),
+  row-suffixed so measure names never collide.
+
+With ``measurement="waveform"`` the per-metric ``.measure`` cards are
+replaced wholesale by a ``.tran`` + ``.save`` pair (plus behavioural
+B-sources for expression metrics): the engine writes a binary rawfile,
+:mod:`repro.spice.rawfile` parses it, and all metric extraction happens
+host-side in :mod:`repro.analysis.waveform` — the same vectorized code the
+analytic engine uses.  Waveform decks are additionally *trimmed* to the
+probed cone of influence (:mod:`repro.spice.trim`) before lowering.
 
 Single-row decks are plain valid ngspice and can be batch-run directly
 (``ngspice -b -o run.log deck.cir``); multi-row decks are consumed only by
@@ -59,9 +70,11 @@ from repro.spice.netlist import (
     Resistor,
     VoltageSource,
 )
+from repro.spice.trim import describe_trim, trim_circuit
 from repro.variation.corners import ProcessCorner, PVTCorner
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.analysis.waveform import WaveformSpec
     from repro.simulation.service import SimJob
 
 #: Deck layout version, stamped into (and checked from) the payload.
@@ -210,28 +223,62 @@ def _card_name(prefix: str, name: str) -> str:
 
 
 class _ModelTable:
-    """Deduplicates ``.model`` cards across the netlist's MOSFETs."""
+    """Deduplicates ``.model`` cards across the netlist's MOSFETs.
+
+    The dedup key covers everything that shapes the emitted card: the
+    technology parameter set, the device *length* (the card's ``lambda`` is
+    the analytic engine's effective ``lambda_per_um / L_um``, so two
+    lengths need two models) and any element-static ``vth_shift`` /
+    ``beta_error``.  :meth:`cards` re-emits the table for a given
+    :class:`PVTCorner` through the same
+    :meth:`~repro.spice.mosfet.MosfetModel.effective_vth_mu` the analytic
+    engine uses, which is how per-row sections redefine the models so real
+    engines actually simulate SS/FF corners instead of all-TT.
+    """
 
     def __init__(self) -> None:
-        self._names: Dict[Tuple, str] = {}
+        self._entries: Dict[Tuple, Tuple[str, Mosfet]] = {}
 
     def name_for(self, mosfet: Mosfet) -> str:
         params = mosfet.model.parameters
-        key = (params.polarity, params.vth0, params.mu_cox, params.lambda_per_um)
-        name = self._names.get(key)
-        if name is None:
-            name = f"{params.polarity}_m{len(self._names) + 1}"
-            self._names[key] = name
-        return name
+        length_um = float(np.asarray(mosfet.model.length)) * 1e6
+        key = (
+            params.polarity,
+            params.vth0,
+            params.mu_cox,
+            params.lambda_per_um,
+            length_um,
+            float(mosfet.vth_shift),
+            float(mosfet.beta_error),
+        )
+        entry = self._entries.get(key)
+        if entry is None:
+            name = f"{params.polarity}_m{len(self._entries) + 1}"
+            self._entries[key] = (name, mosfet)
+            return name
+        return entry[0]
 
-    def cards(self) -> List[str]:
+    def cards(self, corner: Optional[PVTCorner] = None) -> List[str]:
         lines = []
-        for key, name in sorted(self._names.items(), key=lambda item: item[1]):
-            polarity, vth0, mu_cox, lambda_per_um = key
-            vto = -vth0 if polarity == "pmos" else vth0
+        def model_order(entry: Tuple[str, Mosfet]) -> Tuple[str, int]:
+            prefix, _, number = entry[0].rpartition("_m")
+            return (prefix, int(number))
+
+        for entry in sorted(self._entries.values(), key=model_order):
+            name, mosfet = entry
+            params = mosfet.model.parameters
+            vth, mu_cox = mosfet.model.effective_vth_mu(
+                corner, float(mosfet.vth_shift), float(mosfet.beta_error)
+            )
+            vth = float(vth)
+            mu_cox = float(mu_cox)
+            length_um = float(np.asarray(mosfet.model.length)) * 1e6
+            lam = params.lambda_per_um / max(length_um, 1e-3)
+            vto = -vth if params.polarity == "pmos" else vth
             lines.append(
-                f".model {name} {polarity} (level=1 vto={card_float(vto)} "
-                f"kp={card_float(mu_cox)} lambda={card_float(lambda_per_um)})"
+                f".model {name} {params.polarity} (level=1 "
+                f"vto={card_float(vto)} kp={card_float(mu_cox)} "
+                f"lambda={card_float(lam)})"
             )
         return lines
 
@@ -298,13 +345,16 @@ class Deck:
     rows: int
     metric_names: Tuple[str, ...]
     text: str
+    measurement: str = "measure"
 
     def write(self, path) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.text)
 
 
-def _payload_lines(job: "SimJob", metric_names: Sequence[str]) -> List[str]:
+def _payload_lines(
+    job: "SimJob", metric_names: Sequence[str], measurement: str = "measure"
+) -> List[str]:
     lines = [
         # corners=/mismatch= pin the block lengths explicitly: for
         # conditions jobs the corner block is legitimately either 1
@@ -319,6 +369,10 @@ def _payload_lines(job: "SimJob", metric_names: Sequence[str]) -> List[str]:
         f"format={FORMAT_VERSION}",
         f"{PAYLOAD_PREFIX}metrics " + " ".join(metric_names),
     ]
+    if measurement != "measure":
+        # Informational: parse_deck_job ignores unknown payload kinds, so
+        # older parsers keep round-tripping waveform decks unchanged.
+        lines.append(f"{PAYLOAD_PREFIX}measurement {measurement}")
     for index, design in enumerate(job.designs):
         values = " ".join(payload_float(value) for value in design)
         lines.append(f"{PAYLOAD_PREFIX}design {index} {values}")
@@ -355,26 +409,84 @@ def _row_param_cards(
     ]
 
 
-def compile_job_deck(job: "SimJob", circuit) -> Deck:
+def _behavioral_node(spec: "WaveformSpec") -> str:
+    signal = spec.signal.strip()
+    if signal.lower().startswith("v(") and signal.endswith(")"):
+        return signal[2:-1].strip()
+    raise ValueError(
+        f"waveform spec {spec.metric!r} carries an expression but probes "
+        f"{signal!r}; expression metrics must probe a v(<node>) trace"
+    )
+
+
+def _waveform_cards(
+    specs: Sequence["WaveformSpec"],
+) -> Tuple[List[str], str]:
+    """Behavioural-source cards plus the ``.save`` card for a spec set.
+
+    Expression specs become ngspice B-sources pinning a synthetic node to
+    a ``.param``-level expression, so parameter-derived metrics (noise and
+    energy estimates) surface as ordinary rawfile traces on real engines.
+    """
+    sources = []
+    probes: set = set()
+    for spec in specs:
+        probes.update(spec.probes)
+        if spec.expression:
+            node = _behavioral_node(spec)
+            sources.append(f"B_{node} {node} 0 V='{spec.expression}'")
+    return sources, ".save " + " ".join(sorted(probes))
+
+
+def compile_job_deck(
+    job: "SimJob",
+    circuit,
+    measurement: str = "measure",
+    trim: Optional[bool] = None,
+) -> Deck:
     """Lower one :class:`SimJob` into an ngspice deck for ``circuit``.
 
     ``circuit`` is the :class:`~repro.circuits.base.AnalogCircuit` the job
-    targets; its :meth:`build_testbench` supplies the structural netlist and
-    its :meth:`measure_specs` one measure card per metric per row.
+    targets; its :meth:`build_testbench` supplies the structural netlist.
+
+    With ``measurement="measure"`` (the default) each row carries one
+    ``.measure`` card per metric (:meth:`measure_specs`).  With
+    ``measurement="waveform"`` no measure cards are emitted at all: the
+    deck requests a transient rawfile, ``.save``s exactly the traces the
+    circuit's :meth:`waveform_specs` probe (plus behavioural sources for
+    expression metrics), and metric extraction happens host-side in
+    :mod:`repro.analysis.waveform`.  Waveform decks are also *trimmed* by
+    default (``trim=None``): the testbench is reduced to the probed cone
+    of influence via :func:`repro.spice.trim.trim_circuit`, which is
+    metric-preserving by construction.  Pass ``trim=False`` to keep the
+    full netlist (e.g. for deck-size comparisons).
     """
     if job.circuit_name != circuit.name:
         raise ValueError(
             f"job targets circuit {job.circuit_name!r} but the deck compiler "
             f"was handed {circuit.name!r}"
         )
+    if measurement not in ("measure", "waveform"):
+        raise ValueError(
+            f"unknown measurement mode {measurement!r} "
+            "(expected 'measure' or 'waveform')"
+        )
+    if trim and measurement != "waveform":
+        raise ValueError("deck trimming requires measurement='waveform'")
     from repro.simulation.service import DESIGN_AXIS
 
     metric_names = tuple(circuit.metric_names)
-    specs = {spec.metric: spec for spec in circuit.measure_specs()}
-    missing = set(metric_names) - set(specs)
+    waveform = measurement == "waveform"
+    if waveform:
+        wave_specs = tuple(circuit.waveform_specs())
+        missing = set(metric_names) - {spec.metric for spec in wave_specs}
+    else:
+        specs = {spec.metric: spec for spec in circuit.measure_specs()}
+        missing = set(metric_names) - set(specs)
     if missing:
         raise ValueError(
-            f"circuit {circuit.name!r} declares no measure spec for: "
+            f"circuit {circuit.name!r} declares no "
+            f"{'waveform' if waveform else 'measure'} spec for: "
             f"{sorted(missing)}"
         )
 
@@ -384,20 +496,40 @@ def compile_job_deck(job: "SimJob", circuit) -> Deck:
     testbench = circuit.build_testbench(base_physical, row_corners[0])
     testbench.validate()
 
+    trim_note = None
+    if waveform and (trim is None or trim):
+        probe_list = [
+            probe
+            for spec in wave_specs
+            if not spec.expression
+            for probe in spec.probes
+        ]
+        trim_result = trim_circuit(testbench, probe_list)
+        testbench = trim_result.circuit
+        trim_note = describe_trim(trim_result)
+
+    models = _ModelTable()
+    element_cards = [_element_card(element, models) for element in testbench.elements]
+
     lines = [
         f"* repro ngspice deck (format {FORMAT_VERSION})",
         f"* circuit: {job.circuit_name} | axis: {job.axis} | rows: {job.batch}",
         f".title {job.circuit_name}",
         "* ---- job payload (machine-readable, full precision) ----",
     ]
-    lines += _payload_lines(job, metric_names)
+    lines += _payload_lines(job, metric_names, measurement)
     lines.append("* ---- testbench netlist (row 0 geometry) ----")
-    lines += netlist_cards(testbench)
-
-    needs_tran = any(
-        specs[name].analysis == "tran" and not specs[name].is_placeholder
-        for name in metric_names
-    )
+    if trim_note is not None:
+        lines.append(f"* trim: {trim_note}")
+    lines += element_cards
+    if waveform:
+        source_cards, save_card = _waveform_cards(wave_specs)
+        lines += source_cards
+    else:
+        needs_tran = any(
+            specs[name].analysis == "tran" and not specs[name].is_placeholder
+            for name in metric_names
+        )
     for row in range(job.batch):
         if job.axis == DESIGN_AXIS:
             x_physical = circuit.denormalize(np.asarray(designs[row], dtype=float))
@@ -406,19 +538,54 @@ def compile_job_deck(job: "SimJob", circuit) -> Deck:
         corner = row_corners[row]
         lines.append(f"* ---- row {row} ----")
         lines += _row_param_cards(circuit.parameter_names, x_physical, corner)
+        # Corner/process shifts are lowered *into* the per-row model cards
+        # (same effective_vth_mu math as the analytic engine), so a real
+        # engine simulates the declared corner, not TT for every row.
+        lines += models.cards(corner)
         lines.append(f".temp {card_float(corner.temperature)}")
-        lines.append(".op")
-        if needs_tran:
+        if waveform:
             lines.append(f".tran {card_float(TRAN_STEP)} {card_float(TRAN_STOP)}")
-        for name in metric_names:
-            lines.append(specs[name].card(row))
+            lines.append(save_card)
+        else:
+            lines.append(".op")
+            if needs_tran:
+                lines.append(f".tran {card_float(TRAN_STEP)} {card_float(TRAN_STOP)}")
+            for name in metric_names:
+                lines.append(specs[name].card(row))
     lines.append(".end")
     return Deck(
         circuit_name=job.circuit_name,
         rows=job.batch,
         metric_names=metric_names,
         text="\n".join(lines) + "\n",
+        measurement=measurement,
     )
+
+
+def reference_job(circuit, rows: int = 2) -> "SimJob":
+    """A deterministic small job for a circuit: the golden-deck reference.
+
+    Two rows by default — the typical corner and a slow/cold/low-vdd SS
+    corner — over an evenly spaced design vector and a seeded mismatch
+    block.  Shared by the golden-deck regression suite and the
+    ``repro deck`` CLI so both regenerate byte-identical decks.
+    """
+    from repro.simulation.service import SimJob
+    from repro.variation.corners import typical_corner
+
+    rows = int(rows)
+    if rows < 1:
+        raise ValueError("reference_job needs at least one row")
+    x = np.linspace(0.2, 0.8, circuit.dimension)
+    base_corners = (
+        typical_corner(),
+        PVTCorner(ProcessCorner.SS, 0.8, -40.0),
+    )
+    corners = tuple(base_corners[index % 2] for index in range(rows))
+    mismatch = np.random.default_rng(42).standard_normal(
+        (rows, circuit.mismatch_dimension)
+    )
+    return SimJob.conditions(circuit.name, x, corners, mismatch)
 
 
 # ----------------------------------------------------------------------

@@ -80,7 +80,9 @@ def rc_lowpass(resistance: float = 1e3, capacitance: float = 1e-9) -> Circuit:
     return circuit
 
 
-def common_source_ladder(stages: int = 16, filter_nodes: int = 4) -> Circuit:
+def common_source_ladder(
+    stages: int = 16, filter_nodes: int = 4, coupling: str = "resistive"
+) -> Circuit:
     """``stages`` coupled common-source stages: the larger-netlist testbench.
 
     Each stage is the resistor-loaded NMOS of :func:`common_source_amplifier`
@@ -91,19 +93,38 @@ def common_source_ladder(stages: int = 16, filter_nodes: int = 4) -> Circuit:
     ``stages`` nonlinear devices it is exactly the shape where the LU-cached
     Sherman–Morrison–Woodbury kernel (and, larger still, the sparse static
     stamp) pays off over the dense stacked solve.
+
+    ``coupling="isolated"`` builds the sense-amp-array variant instead:
+    every gate ties directly to the shared ``bias`` rail and the divider
+    ladder / drain bridge resistors are omitted, so stages interact only
+    through ideally pinned rails and one-way MOSFET gates.  That is the
+    memory-array shape where probing one column's output makes the rest of
+    the array provably irrelevant — the benchmark target for waveform-mode
+    netlist trimming (:mod:`repro.spice.trim`).  The default
+    ``"resistive"`` netlist is byte-identical to what this factory always
+    produced.
     """
     if stages < 1:
         raise ValueError("stages must be >= 1")
-    circuit = Circuit(f"cs_ladder_{stages}x{filter_nodes}")
+    if coupling not in ("resistive", "isolated"):
+        raise ValueError(
+            f"unknown coupling {coupling!r} (expected 'resistive' or 'isolated')"
+        )
+    isolated = coupling == "isolated"
+    name = f"cs_ladder_{stages}x{filter_nodes}"
+    if isolated:
+        name += "_isolated"
+    circuit = Circuit(name)
     circuit.add(VoltageSource("VDD", "vdd", GROUND, 0.9))
     circuit.add(VoltageSource("VB", "bias", GROUND, 0.55))
     previous_gate = "bias"
     for stage in range(stages):
-        gate = f"g{stage}"
+        gate = "bias" if isolated else f"g{stage}"
         drain = f"d{stage}"
-        # Bias divider ladder: each tap sits a little below the previous.
-        circuit.add(Resistor(f"RB{stage}", previous_gate, gate, 2e3))
-        circuit.add(Resistor(f"RG{stage}", gate, GROUND, 200e3))
+        if not isolated:
+            # Bias divider ladder: each tap sits a little below the previous.
+            circuit.add(Resistor(f"RB{stage}", previous_gate, gate, 2e3))
+            circuit.add(Resistor(f"RG{stage}", gate, GROUND, 200e3))
         circuit.add(Resistor(f"RD{stage}", "vdd", drain, 40e3))
         circuit.add(
             Mosfet(
@@ -120,7 +141,7 @@ def common_source_ladder(stages: int = 16, filter_nodes: int = 4) -> Circuit:
             circuit.add(Resistor(f"RF{stage}_{tap}", node, bridge, 10e3))
             circuit.add(Resistor(f"RFG{stage}_{tap}", bridge, GROUND, 1e6))
             node = bridge
-        if stage:
+        if stage and not isolated:
             circuit.add(Resistor(f"RC{stage}", f"d{stage - 1}", drain, 500e3))
         previous_gate = gate
     return circuit

@@ -1,0 +1,274 @@
+"""Vectorized ngspice rawfile reader/writer.
+
+ngspice's ``-r`` output is a small ASCII header followed by either a
+``Binary:`` section — ``No. Points`` records of ``No. Variables``
+little-endian float64s, point-major — or an ASCII ``Values:`` section.
+:func:`parse_rawfile` reads both into a :class:`Rawfile` holding one
+``(n_vars, n_points)`` float64 matrix (a single ``np.frombuffer`` +
+``reshape().T``, no per-point python loop), and :func:`render_rawfile`
+writes the exact binary form back, which is how the hermetic fake engine
+emits real rawfile bytes for the waveform pipeline.
+
+Every malformed input — truncated header or points, variable-count
+mismatches, non-monotonic time axes, non-finite samples — raises the
+typed :class:`RawfileError`; the parser never silently zero-fills, so a
+damaged simulation can only ever surface as an explicit failure upstream
+(the backend maps it to ``FAILURE_NAN`` rows), never as garbage metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Rawfile", "RawfileError", "parse_rawfile", "render_rawfile", "read_rawfile"]
+
+_BINARY_MARKER = b"Binary:\n"
+_ASCII_MARKER = b"Values:\n"
+#: Deterministic Date header so golden rawfiles are byte-stable.
+_CANONICAL_DATE = "repro-canonical"
+
+
+class RawfileError(ValueError):
+    """A rawfile is truncated, inconsistent, or otherwise unparseable."""
+
+
+@dataclass(frozen=True)
+class Rawfile:
+    """A parsed rawfile: variable metadata plus a dense value matrix."""
+
+    title: str
+    plotname: str
+    variables: Tuple[Tuple[str, str], ...]  #: (name, type) per variable
+    values: np.ndarray  #: (n_vars, n_points) float64
+
+    @property
+    def n_vars(self) -> int:
+        return len(self.variables)
+
+    @property
+    def n_points(self) -> int:
+        return int(self.values.shape[1])
+
+    @property
+    def time(self) -> np.ndarray:
+        """The independent axis (the variable typed/named ``time``)."""
+        return self.values[self._time_index()]
+
+    def _time_index(self) -> int:
+        for index, (name, var_type) in enumerate(self.variables):
+            if var_type == "time" or name == "time":
+                return index
+        raise RawfileError("rawfile has no time variable")
+
+    def traces(self) -> Dict[str, np.ndarray]:
+        """Lower-cased trace name -> ``(n_points,)`` view, minus the axis."""
+        axis = self._time_index()
+        return {
+            name.lower(): self.values[index]
+            for index, (name, _) in enumerate(self.variables)
+            if index != axis
+        }
+
+
+def _header_value(fields: Dict[str, str], key: str) -> str:
+    try:
+        return fields[key]
+    except KeyError:
+        raise RawfileError(f"rawfile header is missing the {key!r} line") from None
+
+
+def _parse_int(fields: Dict[str, str], key: str) -> int:
+    text = _header_value(fields, key)
+    try:
+        value = int(text)
+    except ValueError:
+        raise RawfileError(f"rawfile header {key!r} is not an integer: {text!r}") from None
+    if value <= 0:
+        raise RawfileError(f"rawfile header {key!r} must be positive, got {value}")
+    return value
+
+
+def _validate(values: np.ndarray, allow_nan: bool, time_index: Optional[int]) -> None:
+    if time_index is not None:
+        time = values[time_index]
+        if not bool(np.all(np.isfinite(time))):
+            raise RawfileError("rawfile time axis contains non-finite samples")
+        if time.size > 1 and not bool(np.all(np.diff(time) > 0.0)):
+            raise RawfileError("rawfile time axis is not strictly increasing")
+    if not allow_nan and not bool(np.all(np.isfinite(values))):
+        raise RawfileError("rawfile contains non-finite samples")
+
+
+def parse_rawfile(data: bytes, allow_nan: bool = False) -> Rawfile:
+    """Parse rawfile bytes (binary or ascii) into a :class:`Rawfile`.
+
+    The time axis must always be finite and strictly increasing.  With the
+    default ``allow_nan=False`` any non-finite sample anywhere raises
+    :class:`RawfileError`; the ngspice backend parses with
+    ``allow_nan=True`` so an engine-reported NaN trace can flow through as
+    a genuine failed measurement instead of a parse failure.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise RawfileError(f"expected rawfile bytes, got {type(data).__name__}")
+    data = bytes(data)
+    binary = True
+    marker = data.find(_BINARY_MARKER)
+    if marker < 0:
+        binary = False
+        marker = data.find(_ASCII_MARKER)
+    if marker < 0:
+        raise RawfileError("rawfile has no Binary:/Values: section")
+    header = data[:marker]
+    body = data[marker + len(_BINARY_MARKER if binary else _ASCII_MARKER):]
+
+    try:
+        header_text = header.decode("ascii")
+    except UnicodeDecodeError:
+        raise RawfileError("rawfile header is not ascii text") from None
+
+    fields: Dict[str, str] = {}
+    variables: List[Tuple[str, str]] = []
+    in_variables = False
+    for line in header_text.splitlines():
+        if not line.strip():
+            continue
+        if in_variables and (line.startswith("\t") or line.startswith(" ")):
+            parts = line.split()
+            if len(parts) < 3:
+                raise RawfileError(f"malformed variable line: {line!r}")
+            index_text, name, var_type = parts[0], parts[1], parts[2]
+            try:
+                index = int(index_text)
+            except ValueError:
+                raise RawfileError(f"malformed variable index: {line!r}") from None
+            if index != len(variables):
+                raise RawfileError(
+                    f"variable indices out of order: expected {len(variables)}, "
+                    f"got {index}"
+                )
+            variables.append((name, var_type))
+            continue
+        in_variables = False
+        key, _, value = line.partition(":")
+        if not _:
+            raise RawfileError(f"malformed rawfile header line: {line!r}")
+        fields[key.strip()] = value.strip()
+        if key.strip() == "Variables":
+            in_variables = True
+
+    flags = _header_value(fields, "Flags").lower()
+    if "complex" in flags:
+        raise RawfileError("complex rawfiles are not supported")
+    n_vars = _parse_int(fields, "No. Variables")
+    n_points = _parse_int(fields, "No. Points")
+    if len(variables) != n_vars:
+        raise RawfileError(
+            f"rawfile declares {n_vars} variables but lists {len(variables)}"
+        )
+
+    if binary:
+        expected = n_vars * n_points * 8
+        if len(body) < expected:
+            raise RawfileError(
+                f"rawfile binary section truncated: expected {expected} bytes, "
+                f"got {len(body)}"
+            )
+        if len(body) > expected:
+            raise RawfileError(
+                f"rawfile binary section has {len(body) - expected} trailing bytes"
+            )
+        matrix = (
+            np.frombuffer(body, dtype="<f8").reshape(n_points, n_vars).T.copy()
+        )
+    else:
+        tokens = body.decode("ascii", errors="replace").split()
+        expected_tokens = n_points * (n_vars + 1)
+        if len(tokens) != expected_tokens:
+            raise RawfileError(
+                f"rawfile ascii section has {len(tokens)} tokens, expected "
+                f"{expected_tokens}"
+            )
+        matrix = np.empty((n_points, n_vars), dtype=float)
+        cursor = 0
+        for point in range(n_points):
+            if tokens[cursor] != str(point):
+                raise RawfileError(
+                    f"ascii point {point} starts with {tokens[cursor]!r}"
+                )
+            cursor += 1
+            for var in range(n_vars):
+                try:
+                    matrix[point, var] = float(tokens[cursor])
+                except ValueError:
+                    raise RawfileError(
+                        f"ascii value is not a number: {tokens[cursor]!r}"
+                    ) from None
+                cursor += 1
+        matrix = matrix.T.copy()
+
+    raw = Rawfile(
+        title=fields.get("Title", ""),
+        plotname=fields.get("Plotname", ""),
+        variables=tuple(variables),
+        values=matrix,
+    )
+    time_index: Optional[int]
+    try:
+        time_index = raw._time_index()
+    except RawfileError:
+        time_index = None
+    _validate(matrix, allow_nan, time_index)
+    return raw
+
+
+def render_rawfile(
+    title: str,
+    variables: Sequence[Tuple[str, str]],
+    values: np.ndarray,
+    plotname: str = "Transient Analysis",
+) -> bytes:
+    """Render the exact binary rawfile ngspice would write.
+
+    ``values`` is ``(n_vars, n_points)``; the ``Date`` header is a fixed
+    canonical string so rendered rawfiles (including committed goldens)
+    are byte-stable across runs.
+    """
+    values = np.ascontiguousarray(np.asarray(values, dtype=float))
+    if values.ndim != 2:
+        raise ValueError("rawfile values must be a (n_vars, n_points) matrix")
+    n_vars, n_points = values.shape
+    if n_vars != len(variables):
+        raise ValueError(
+            f"{len(variables)} variables declared but {n_vars} value rows given"
+        )
+    if n_points < 1:
+        raise ValueError("rawfile needs at least one point")
+    lines = [
+        f"Title: {title}",
+        f"Date: {_CANONICAL_DATE}",
+        f"Plotname: {plotname}",
+        "Flags: real",
+        f"No. Variables: {n_vars}",
+        f"No. Points: {n_points}",
+        "Variables:",
+    ]
+    for index, (name, var_type) in enumerate(variables):
+        lines.append(f"\t{index}\t{name}\t{var_type}")
+    lines.append("Binary:\n")
+    header = "\n".join(lines).encode("ascii")
+    body = values.T.astype("<f8").tobytes()
+    return header + body
+
+
+def read_rawfile(path, allow_nan: bool = False) -> Rawfile:
+    """Parse a rawfile from disk; see :func:`parse_rawfile`."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        raise RawfileError(f"cannot read rawfile {path}: {error}") from None
+    return parse_rawfile(data, allow_nan=allow_nan)

@@ -71,38 +71,13 @@ def sample_source_waveforms(
 def _first_crossing(
     times: np.ndarray, waves: np.ndarray, threshold: float, rising: bool
 ) -> np.ndarray:
-    """Vectorized first-crossing with linear interpolation.
-
-    ``waves`` is ``(B, n_steps + 1)``; returns ``(B,)`` crossing times with
-    ``NaN`` where a waveform never crosses.
+    """Vectorized first-crossing; the implementation now lives in
+    :func:`repro.analysis.waveform.first_crossing` so analytic and
+    external-engine waveforms are measured by literally the same code.
     """
-    previous = waves[:, :-1]
-    current = waves[:, 1:]
-    if rising:
-        crossed = (previous < threshold) & (threshold <= current)
-    else:
-        crossed = (previous > threshold) & (threshold >= current)
+    from repro.analysis.waveform import first_crossing
 
-    result = np.full(waves.shape[0], np.nan)
-    any_crossing = crossed.any(axis=1)
-    if not np.any(any_crossing):
-        return result
-
-    rows = np.flatnonzero(any_crossing)
-    first = np.argmax(crossed[rows], axis=1)
-    prev_v = previous[rows, first]
-    curr_v = current[rows, first]
-    t_prev = times[first]
-    t_curr = times[first + 1]
-    step = curr_v - prev_v
-    with np.errstate(divide="ignore", invalid="ignore"):
-        fraction = np.where(step != 0.0, (threshold - prev_v) / step, 0.0)
-    # A flat segment "crosses" at the segment's end, matching the scalar
-    # semantics the per-index loop used to implement.
-    result[rows] = np.where(
-        step == 0.0, t_curr, t_prev + fraction * (t_curr - t_prev)
-    )
-    return result
+    return first_crossing(times, waves, threshold, rising)
 
 
 def solve_transient(

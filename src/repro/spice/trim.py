@@ -1,0 +1,179 @@
+"""Connectivity-based netlist trimming for waveform-mode decks.
+
+Generated array circuits (the ``cs_ladder`` family, sense-amp-array style
+testbenches) carry many replicated stages, but a waveform measurement only
+probes a handful of nodes.  :func:`trim_circuit` walks the netlist graph
+from the probed nodes and keeps exactly the *cone of influence* — every
+element that can affect a probed voltage in the MNA model — so real
+engines simulate a fraction of the deck with bit-identical results on the
+probes.
+
+The walk is conservative and direction-aware:
+
+* An element is kept when one of its **conductive** terminals touches an
+  active reached node (R/C/V/I: both nodes; VCCS: the output pair;
+  MOSFET: drain and source).  Keeping it reaches *all* of its terminals,
+  including one-way inputs.
+* MOSFET gates and VCCS control pins are one-way inputs: in the MNA model
+  they draw no current, so an element touching the reached set only
+  through a gate/control pin cannot disturb it and is dropped — while a
+  reached gate *does* pull in whatever drives that gate node.
+* Nodes pinned by a ground-referenced voltage source (supply rails, bias
+  lines) are reached-but-not-expanded: the pinning source is kept so the
+  node keeps its potential, but other loads hanging off the rail cannot
+  influence the probes through an ideal source and are not pulled in.
+* Current probes (``i(vsource)``) observe the whole mesh through the
+  source, so any current probe disables trimming for the circuit.
+* A probe set that matches no netlist node (e.g. behavioural-only
+  metrics) also falls back to the untrimmed circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set, Tuple
+
+from .netlist import GROUND, Circuit, Element, Mosfet, VCCS
+
+__all__ = ["TrimResult", "trim_circuit", "probe_node_names", "describe_trim"]
+
+
+@dataclass(frozen=True)
+class TrimResult:
+    """Outcome of a trim: the (possibly reduced) circuit plus bookkeeping."""
+
+    circuit: Circuit
+    kept: Tuple[str, ...]
+    dropped: Tuple[str, ...]
+    trimmed: bool  #: False when trimming was skipped (conservative fallback)
+
+    @property
+    def element_reduction(self) -> float:
+        """Fraction of elements removed (0.0 when nothing was dropped)."""
+        total = len(self.kept) + len(self.dropped)
+        if total == 0:
+            return 0.0
+        return len(self.dropped) / total
+
+
+def probe_node_names(probes: Iterable[str]) -> Tuple[Set[str], bool]:
+    """Split probe strings into voltage node names and a current-probe flag.
+
+    ``"v(outp)"`` -> node ``outp``; a bare name is taken as a node;
+    ``"i(vvdd)"`` marks a current probe (returned flag), which forces the
+    conservative no-trim fallback.
+    """
+    nodes: Set[str] = set()
+    has_current_probe = False
+    for probe in probes:
+        text = probe.strip()
+        lowered = text.lower()
+        if lowered.startswith("v(") and text.endswith(")"):
+            nodes.add(text[2:-1].strip())
+        elif lowered.startswith("i(") and text.endswith(")"):
+            has_current_probe = True
+        elif text:
+            nodes.add(text)
+    return nodes, has_current_probe
+
+
+def _conductive_nodes(element: Element) -> Tuple[str, ...]:
+    """Terminals through which the element exchanges current with the mesh."""
+    if isinstance(element, Mosfet):
+        return (element.drain, element.source)
+    if isinstance(element, VCCS):
+        return (element.node_plus, element.node_minus)
+    return element.nodes()
+
+
+def _pinned_nodes(circuit: Circuit) -> Set[str]:
+    """Nodes held at a fixed potential by a ground-referenced source."""
+    pinned: Set[str] = set()
+    for source in circuit.voltage_sources():
+        if source.node_minus == GROUND and source.node_plus != GROUND:
+            pinned.add(source.node_plus)
+        elif source.node_plus == GROUND and source.node_minus != GROUND:
+            pinned.add(source.node_minus)
+    return pinned
+
+
+def _untrimmed(circuit: Circuit) -> TrimResult:
+    return TrimResult(
+        circuit=circuit,
+        kept=tuple(element.name for element in circuit.elements),
+        dropped=(),
+        trimmed=False,
+    )
+
+
+def trim_circuit(circuit: Circuit, probes: Sequence[str]) -> TrimResult:
+    """Trim ``circuit`` to the cone of influence of the probed nodes."""
+    nodes, has_current_probe = probe_node_names(probes)
+    known = set(circuit.node_names())
+    reached = {node for node in nodes if node in known}
+    if has_current_probe or not reached:
+        return _untrimmed(circuit)
+
+    pinned = _pinned_nodes(circuit)
+    elements = circuit.elements
+
+    def active(node_set: Set[str]) -> Set[str]:
+        return {n for n in node_set if n != GROUND and n not in pinned}
+
+    kept_names: Set[str] = set()
+    frontier = active(reached)
+    while True:
+        grew = False
+        for element in elements:
+            if element.name in kept_names:
+                continue
+            if any(node in frontier for node in _conductive_nodes(element)):
+                kept_names.add(element.name)
+                before = len(reached)
+                reached.update(element.nodes())
+                if len(reached) != before:
+                    grew = True
+        next_frontier = active(reached)
+        if not grew and next_frontier == frontier:
+            break
+        frontier = next_frontier
+
+    # Keep the sources pinning any reached rail so kept elements still see
+    # their supplies/bias potentials.
+    for source in circuit.voltage_sources():
+        if source.name in kept_names:
+            continue
+        ends = {source.node_plus, source.node_minus}
+        if GROUND in ends and (ends & reached):
+            kept_names.add(source.name)
+
+    kept_elements = [e for e in elements if e.name in kept_names]
+    dropped = tuple(e.name for e in elements if e.name not in kept_names)
+    if not dropped:
+        return _untrimmed(circuit)
+
+    trimmed = Circuit(circuit.name)
+    for element in kept_elements:
+        trimmed.add(element)
+    try:
+        trimmed.validate()
+    except ValueError:
+        # A pathological probe set (no ground path) — fall back whole.
+        return _untrimmed(circuit)
+    return TrimResult(
+        circuit=trimmed,
+        kept=tuple(e.name for e in kept_elements),
+        dropped=dropped,
+        trimmed=True,
+    )
+
+
+def describe_trim(result: TrimResult) -> str:
+    """One-line human summary used by the CLI and benchmark."""
+    total = len(result.kept) + len(result.dropped)
+    if not result.trimmed:
+        return f"untrimmed ({total} elements)"
+    return (
+        f"kept {len(result.kept)}/{total} elements "
+        f"({100.0 * result.element_reduction:.1f}% removed)"
+    )

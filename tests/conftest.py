@@ -34,7 +34,11 @@ import pytest
 from repro.circuits import DramCoreSenseAmp, FloatingInverterAmplifier, StrongArmLatch
 from repro.core.spec import DesignSpec
 from repro.simulation import CircuitSimulator, SimulationBudget, SimulationService
-from repro.simulation.ngspice import EXECUTABLE_ENV, PAYLOAD_AWARE_ENV
+from repro.simulation.ngspice import (
+    EXECUTABLE_ENV,
+    MEASUREMENT_ENV,
+    PAYLOAD_AWARE_ENV,
+)
 from repro.variation.corners import typical_corner
 from repro.variation.mismatch import MismatchSampler
 
@@ -240,9 +244,23 @@ def fake_ngspice(tmp_path, monkeypatch):
     launcher.chmod(0o755)
     monkeypatch.setenv(EXECUTABLE_ENV, str(launcher))
     monkeypatch.setenv(PAYLOAD_AWARE_ENV, "1")
+    monkeypatch.delenv(MEASUREMENT_ENV, raising=False)
     monkeypatch.delenv("FAKE_NGSPICE_MODE", raising=False)
     monkeypatch.delenv("FAKE_NGSPICE_FAIL_ONCE", raising=False)
     return str(launcher)
+
+
+@pytest.fixture
+def fake_ngspice_waveform(fake_ngspice, monkeypatch):
+    """The fake simulator with waveform measurement selected via the env.
+
+    Backends built afterwards (including ones rebuilt by name inside
+    worker processes) run ``.tran`` + rawfile decks and extract metrics
+    host-side; the fake answers with canonical binary rawfiles rendered
+    from the analytic engine's values.
+    """
+    monkeypatch.setenv(MEASUREMENT_ENV, "waveform")
+    return fake_ngspice
 
 
 @pytest.fixture

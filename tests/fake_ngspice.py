@@ -76,14 +76,21 @@ def main(argv=None) -> int:
     mode = os.environ.get("FAKE_NGSPICE_MODE", "ok")
     fail_once = os.environ.get("FAKE_NGSPICE_FAIL_ONCE", "")
 
-    # The ngspice batch CLI subset the runner uses: [-b] [-o logfile] deck.
+    # The ngspice batch CLI subset the runner uses:
+    # [-b] [-r rawfile] [-o logfile] deck.  A -r request is the waveform-
+    # mode signal: answer with a binary rawfile instead of a measure log.
     log_path = None
+    raw_path = None
     deck_path = None
     index = 0
     while index < len(argv):
         argument = argv[index]
         if argument == "-o" and index + 1 < len(argv):
             log_path = argv[index + 1]
+            index += 2
+            continue
+        if argument == "-r" and index + 1 < len(argv):
+            raw_path = argv[index + 1]
             index += 2
             continue
         if not argument.startswith("-"):
@@ -112,6 +119,9 @@ def main(argv=None) -> int:
     with open(deck_path, "r", encoding="utf-8") as handle:
         deck_text = handle.read()
 
+    if raw_path is not None:
+        return _run_waveform(deck_text, raw_path, log_path, mode)
+
     if mode == "garbage":
         output = "fake-ngspice: no measures in this log\n"
     else:
@@ -129,6 +139,73 @@ def main(argv=None) -> int:
             handle.write(output)
     else:
         sys.stdout.write(output)
+    return 0
+
+
+def _run_waveform(deck_text: str, raw_path: str, log_path, mode: str) -> int:
+    """Waveform mode: answer with a real binary rawfile.
+
+    The metric values still come from the analytic engine via the deck
+    payload; :func:`repro.analysis.waveform.synthesize_canonical` renders
+    them into traces whose extraction is bit-exact, and
+    :func:`repro.spice.rawfile.render_rawfile` writes the same binary
+    format a real ngspice would — so the backend's parse-and-extract path
+    runs for real.  Mode mapping: ``garbage`` writes unparseable rawfile
+    bytes, ``partial`` writes no rawfile at all (a FAILURE_NAN row),
+    ``failcell`` NaNs the first metric, ``allfail`` NaNs every metric.
+    """
+    note = "Note: fake ngspice (repro hermetic test double, waveform mode)\n"
+    if log_path is not None:
+        with open(log_path, "w", encoding="utf-8") as handle:
+            handle.write(note)
+
+    if mode == "garbage":
+        with open(raw_path, "wb") as handle:
+            handle.write(b"this is not a rawfile\n")
+        return 0
+    if mode == "partial":
+        return 0  # engine "succeeds" but never writes the rawfile
+
+    import numpy as np
+
+    from repro.analysis.waveform import synthesize_canonical
+    from repro.circuits.registry import get_circuit
+    from repro.simulation.service import BatchedMNABackend
+    from repro.spice.deck import parse_deck_job
+    from repro.spice.rawfile import render_rawfile
+
+    job = parse_deck_job(deck_text)
+    if job.batch != 1:
+        sys.stderr.write(
+            "fake-ngspice: waveform decks must be single-row "
+            f"(got {job.batch} rows)\n"
+        )
+        return 2
+    circuit = get_circuit(job.circuit_name)
+    metrics = BatchedMNABackend().evaluate(circuit, job)
+    values = {
+        name: float(metrics[name][0]) for name in circuit.metric_names
+    }
+    names = list(circuit.metric_names)
+    if mode == "allfail":
+        for name in names:
+            values[name] = float("nan")
+    elif mode == "failcell" and names:
+        values[names[0]] = float("nan")
+
+    vdd = float(job.row_corners[0].vdd)
+    times, traces = synthesize_canonical(
+        circuit.waveform_specs(), values, vdd
+    )
+    variables = [("time", "time")]
+    rows = [times]
+    for name in sorted(traces):
+        var_type = "current" if name.startswith("i(") else "voltage"
+        variables.append((name, var_type))
+        rows.append(traces[name])
+    data = np.vstack(rows)
+    with open(raw_path, "wb") as handle:
+        handle.write(render_rawfile(job.circuit_name, variables, data))
     return 0
 
 

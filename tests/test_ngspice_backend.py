@@ -60,6 +60,7 @@ from repro.spice.deck import (
     measure_name,
     parse_deck_job,
     parse_measure_log,
+    reference_job,
 )
 from repro.variation.corners import (
     ProcessCorner,
@@ -161,28 +162,75 @@ class TestDeckCompiler:
 
 
 class TestGoldenDecks:
-    """Committed expected decks: serialization regressions diff readably."""
+    """Committed expected decks: serialization regressions diff readably.
+
+    The reference job lives in :func:`repro.spice.deck.reference_job` so
+    the ``repro deck`` CLI regenerates the exact same bytes.
+    """
 
     def golden_job(self, circuit):
-        x = np.linspace(0.2, 0.8, circuit.dimension)
-        corners = (typical_corner(), PVTCorner(ProcessCorner.SS, 0.8, -40.0))
-        mismatch = np.random.default_rng(42).standard_normal(
-            (2, circuit.mismatch_dimension)
-        )
-        return SimJob.conditions(circuit.name, x, corners, mismatch)
+        return reference_job(circuit)
 
-    def test_deck_matches_golden(self, paper_circuit):
-        deck = compile_job_deck(self.golden_job(paper_circuit), paper_circuit)
-        path = os.path.join(GOLDEN_DIR, f"{paper_circuit.name}.cir")
+    def _check_golden(self, deck, path):
         if os.environ.get("REPRO_REGEN_GOLDEN"):
             os.makedirs(GOLDEN_DIR, exist_ok=True)
             deck.write(path)
         with open(path, "r", encoding="utf-8") as handle:
             expected = handle.read()
         assert deck.text == expected, (
-            f"compiled deck for {paper_circuit.name} drifted from "
-            f"{path}; regenerate with REPRO_REGEN_GOLDEN=1 if intended"
+            f"compiled deck drifted from {path}; regenerate with "
+            f"REPRO_REGEN_GOLDEN=1 if intended"
         )
+
+    def test_deck_matches_golden(self, paper_circuit):
+        deck = compile_job_deck(self.golden_job(paper_circuit), paper_circuit)
+        self._check_golden(
+            deck, os.path.join(GOLDEN_DIR, f"{paper_circuit.name}.cir")
+        )
+
+    def test_waveform_deck_matches_golden(self, paper_circuit):
+        deck = compile_job_deck(
+            self.golden_job(paper_circuit),
+            paper_circuit,
+            measurement="waveform",
+        )
+        self._check_golden(
+            deck,
+            os.path.join(GOLDEN_DIR, f"{paper_circuit.name}.waveform.cir"),
+        )
+
+    def test_corner_shifts_produce_distinct_model_cards(self, paper_circuit):
+        """Satellite regression: the reference job mixes a TT and an SS
+        corner, so the per-row ``.model`` cards must differ between rows —
+        corner vth/mu shifts are lowered into the deck, not just recorded
+        in the payload."""
+        deck = compile_job_deck(self.golden_job(paper_circuit), paper_circuit)
+        rows = re.split(r"^\* ---- row \d+ ----$", deck.text, flags=re.MULTILINE)
+        assert len(rows) == 3  # preamble + two rows
+        models_by_row = [
+            sorted(
+                line
+                for line in section.splitlines()
+                if line.startswith(".model ")
+            )
+            for section in rows[1:]
+        ]
+        assert models_by_row[0], "expected .model cards inside each row"
+        assert models_by_row[0] != models_by_row[1]
+
+    def test_cli_deck_regenerates_golden_bytes(self, paper_circuit, capsys):
+        """``repro deck <circuit>`` must emit the committed golden deck
+        byte-for-byte (both measurement modes share ``reference_job``)."""
+        from repro.__main__ import deck_main
+
+        for suffix, extra in (("", []), (".waveform", ["--measurement", "waveform"])):
+            assert deck_main([paper_circuit.name] + extra) == 0
+            produced = capsys.readouterr().out
+            path = os.path.join(
+                GOLDEN_DIR, f"{paper_circuit.name}{suffix}.cir"
+            )
+            with open(path, "r", encoding="utf-8") as handle:
+                assert produced == handle.read()
 
 
 class TestDeckRoundTrip:
