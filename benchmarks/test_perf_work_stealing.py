@@ -1,0 +1,303 @@
+"""Perf benchmark: work-stealing shard scheduler vs the uniform slicer.
+
+Measured and recorded to ``benchmarks/results/BENCH_work_stealing.json``:
+
+1. **Heavy-head batch** — a paced ``row_parallel`` backend whose first
+   :data:`HEAVY_ROWS` rows cost :data:`HEAVY_FACTOR`× the rest (the
+   slow-corner block at the head of a sweep).  The uniform slicer hands
+   the whole heavy region to one worker and idles the other three behind
+   it; the stealing scheduler's oversubscribed chunks drain the queue.
+   Asserted: ``>= 1.5×`` wall-clock speedup at ``workers=4`` and a
+   bounded measured idle fraction.
+
+2. **Lone straggler** — one row :data:`STRAGGLER_FACTOR`× its siblings,
+   first cost-blind, then replanned from the learned exact per-row costs
+   (the second dispatch of the same job isolates the straggler into its
+   own chunk).  Recorded for trend tracking; the learned pass is
+   asserted no slower than the blind pass by more than the noise floor.
+
+**Bit-identity is asserted before any timing**: stealing, uniform and
+``workers=1`` produce identical metric blocks, and resolve-in-order
+budget trajectories match across schedulers — the scheduler may only
+change wall-clock, never results or accounting.
+
+The paced backends model the paper's regime (an external simulator whose
+per-row wall-clock dominates): the analytic engine itself evaluates in
+microseconds, which would make a schedule comparison measure IPC noise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from harness import write_bench_json
+from repro.analysis import straggler_idle_fraction
+from repro.circuits import StrongArmLatch
+from repro.simulation import (
+    BACKENDS,
+    BatchedMNABackend,
+    SCHEDULER_STEALING,
+    SCHEDULER_UNIFORM,
+    SimJob,
+    SimulationService,
+)
+from repro.variation.corners import typical_corner
+
+REPEATS = 3
+WORKERS = 4
+BATCH_ROWS = 32
+
+#: Modelled base cost per row (seconds).  Large enough that per-chunk
+#: IPC (~1 ms) is noise against the schedule difference, small enough to
+#: keep the benchmark under a minute.
+ROW_COST_SECONDS = 0.004
+
+#: Heavy-head profile: the first HEAVY_ROWS rows cost HEAVY_FACTOR x.
+HEAVY_ROWS = 8
+HEAVY_FACTOR = 5
+
+#: Lone-straggler profile: one row at STRAGGLER_FACTOR x.
+STRAGGLER_FACTOR = 10
+
+#: Rows are marked heavy in their *data* (shards never see their batch
+#: offset): a mismatch draw beyond this threshold.
+SENTINEL = 4.0
+
+#: Acceptance floor: stealing vs uniform on the heavy-head batch.
+MIN_SPEEDUP = 1.5
+
+
+class PacedCostBackend(BatchedMNABackend):
+    """The batched engine plus a modelled per-row cost read off the data.
+
+    ``row_parallel = True`` mirrors real external engines (one subprocess
+    per row): the stealing planner chunks down to single rows.  Rows
+    whose first mismatch draw exceeds :data:`SENTINEL` are heavy; the
+    multiplier is encoded in the sentinel value itself
+    (``SENTINEL + factor``), so one backend serves both cost profiles.
+    Metrics are bit-identical to ``batched``.
+    """
+
+    name = "paced_cost"
+    row_parallel = True
+
+    def evaluate(self, circuit, job):
+        metrics = super().evaluate(circuit, job)
+        time.sleep(ROW_COST_SECONDS * float(_row_costs(job).sum()))
+        return metrics
+
+
+def _row_costs(job) -> np.ndarray:
+    """Per-row cost multipliers encoded in the job's mismatch block."""
+    if job.mismatch is None:
+        return np.ones(job.batch)
+    marks = np.asarray(job.mismatch[:, 0])
+    costs = np.ones(job.batch)
+    heavy = marks > SENTINEL
+    costs[heavy] = marks[heavy] - SENTINEL
+    return costs
+
+
+# Registered at import time: forked pool workers inherit the registration.
+BACKENDS[PacedCostBackend.name] = PacedCostBackend
+
+pytestmark = [
+    pytest.mark.perf,
+    pytest.mark.skipif(
+        multiprocessing.get_start_method(allow_none=False) != "fork",
+        reason="pool workers must inherit the paced-backend registration",
+    ),
+]
+
+
+def _marked_job(circuit, factors: np.ndarray, seed=0) -> SimJob:
+    """A conditions job whose rows carry the given cost multipliers."""
+    rng = np.random.default_rng(seed)
+    rows = len(factors)
+    mismatch = np.clip(
+        rng.standard_normal((rows, circuit.mismatch_dimension)), -3.0, 3.0
+    )
+    for index, factor in enumerate(factors):
+        if factor > 1:
+            mismatch[index, 0] = SENTINEL + factor
+    return SimJob.conditions(
+        circuit.name,
+        rng.uniform(0.2, 0.8, circuit.dimension),
+        (typical_corner(),),
+        mismatch,
+    )
+
+
+def _heavy_head_factors() -> np.ndarray:
+    factors = np.ones(BATCH_ROWS)
+    factors[:HEAVY_ROWS] = HEAVY_FACTOR
+    return factors
+
+
+def _straggler_factors() -> np.ndarray:
+    factors = np.ones(BATCH_ROWS)
+    factors[0] = STRAGGLER_FACTOR
+    return factors
+
+
+def _service(circuit, scheduler, workers=WORKERS) -> SimulationService:
+    service = SimulationService(
+        circuit,
+        workers=workers,
+        backend=PacedCostBackend(),
+        scheduler=scheduler,
+    )
+    # Warm-up dispatch so worker spin-up never counts against a timing.
+    service.run(_marked_job(circuit, np.ones(WORKERS * 2), seed=99))
+    return service
+
+
+def _timed_run(service, job):
+    start = time.perf_counter()
+    result = service.run(job)
+    return result, time.perf_counter() - start
+
+
+def _assert_bit_identity(circuit, job) -> dict:
+    """Identical metrics and budget trajectories across schedulers."""
+    blocks = {}
+    trajectories = {}
+    for label, workers, scheduler in (
+        ("sequential", 1, SCHEDULER_STEALING),
+        ("stealing", WORKERS, SCHEDULER_STEALING),
+        ("uniform", WORKERS, SCHEDULER_UNIFORM),
+    ):
+        with SimulationService(
+            circuit, workers=workers, backend=PacedCostBackend(),
+            scheduler=scheduler,
+        ) as service:
+            futures = [
+                service.submit(job.shard(0, job.batch)),  # fresh equal job
+                service.submit(_marked_job(circuit, np.ones(8), seed=5)),
+            ]
+            totals = []
+            for future in futures:
+                blocks.setdefault(label, future.result().metrics)
+                totals.append(service.budget.total)
+            trajectories[label] = totals
+    reference = blocks["sequential"]
+    for label in ("stealing", "uniform"):
+        for name in circuit.metric_names:
+            np.testing.assert_array_equal(blocks[label][name], reference[name])
+    assert trajectories["stealing"] == trajectories["uniform"]
+    assert trajectories["stealing"] == trajectories["sequential"]
+    return {
+        "budget_trajectory": trajectories["stealing"],
+        "metrics_bit_identical": True,
+    }
+
+
+def _heavy_head_block(circuit) -> dict:
+    job_factors = _heavy_head_factors()
+    walls = {}
+    idle = {}
+    for scheduler in (SCHEDULER_UNIFORM, SCHEDULER_STEALING):
+        with _service(circuit, scheduler) as service:
+            best = float("inf")
+            for repeat in range(REPEATS):
+                # A fresh job per repeat: learned exact rows must not
+                # turn the cost-blind comparison into a learned one.
+                job = _marked_job(circuit, job_factors, seed=repeat)
+                result, wall = _timed_run(service, job)
+                if wall < best:
+                    best = wall
+                    idle[scheduler] = straggler_idle_fraction(
+                        result.row_seconds, WORKERS, wall
+                    )
+            walls[scheduler] = best
+    return {
+        "workers": WORKERS,
+        "batch_rows": BATCH_ROWS,
+        "heavy_rows": HEAVY_ROWS,
+        "heavy_factor": HEAVY_FACTOR,
+        "uniform_seconds": walls[SCHEDULER_UNIFORM],
+        "stealing_seconds": walls[SCHEDULER_STEALING],
+        "uniform_idle_fraction": idle[SCHEDULER_UNIFORM],
+        "stealing_idle_fraction": idle[SCHEDULER_STEALING],
+        "speedup": walls[SCHEDULER_UNIFORM] / walls[SCHEDULER_STEALING],
+    }
+
+
+def _straggler_block(circuit) -> dict:
+    factors = _straggler_factors()
+    with _service(circuit, SCHEDULER_STEALING) as service:
+        job = _marked_job(circuit, factors, seed=0)
+        _, blind = _timed_run(service, job)  # cost-blind chunking
+        assert service.cost_model.predict(job, service.backend_name) is not None
+        learned = min(_timed_run(service, job)[1] for _ in range(REPEATS))
+    with _service(circuit, SCHEDULER_UNIFORM) as service:
+        uniform = min(
+            _timed_run(service, _marked_job(circuit, factors, seed=0))[1]
+            for _ in range(REPEATS)
+        )
+    return {
+        "workers": WORKERS,
+        "batch_rows": BATCH_ROWS,
+        "straggler_factor": STRAGGLER_FACTOR,
+        "uniform_seconds": uniform,
+        "blind_stealing_seconds": blind,
+        "learned_stealing_seconds": learned,
+        "speedup": uniform / learned,
+    }
+
+
+@pytest.mark.perf
+def test_work_stealing_speedup_and_equivalence():
+    circuit = StrongArmLatch()
+
+    identity = _assert_bit_identity(
+        circuit, _marked_job(circuit, _heavy_head_factors(), seed=0)
+    )
+    heavy_head = _heavy_head_block(circuit)
+    straggler = _straggler_block(circuit)
+
+    report = {
+        "description": (
+            "Work-stealing shard scheduler vs the legacy uniform slicer "
+            "on a paced row-parallel backend modelling per-row external-"
+            "simulator cost at workers=4: a heavy-head batch (first 8 of "
+            "32 rows 5x cost) and a lone 10x straggler replanned from "
+            "learned exact per-row costs.  Metrics and resolve-in-order "
+            "budget trajectories are asserted bit-identical across "
+            "schedulers before any timing."
+        ),
+        "row_cost_seconds": ROW_COST_SECONDS,
+        "bit_identity": identity,
+        "heavy_head": heavy_head,
+        "straggler": straggler,
+    }
+    path = write_bench_json("work_stealing", report)
+    print(f"\nwork-stealing benchmark -> {path}")
+    print(
+        f"  heavy head: {heavy_head['speedup']:.2f}x "
+        f"({heavy_head['uniform_seconds']*1e3:.0f} ms -> "
+        f"{heavy_head['stealing_seconds']*1e3:.0f} ms, idle "
+        f"{heavy_head['uniform_idle_fraction']:.2f} -> "
+        f"{heavy_head['stealing_idle_fraction']:.2f})"
+    )
+    print(
+        f"  straggler:  {straggler['speedup']:.2f}x learned "
+        f"(blind {straggler['blind_stealing_seconds']*1e3:.0f} ms, "
+        f"learned {straggler['learned_stealing_seconds']*1e3:.0f} ms)"
+    )
+
+    assert heavy_head["speedup"] >= MIN_SPEEDUP, report
+    assert (
+        heavy_head["stealing_idle_fraction"]
+        < heavy_head["uniform_idle_fraction"]
+    ), report
+    # Replanning from learned exact rows must never *hurt* (noise floor:
+    # one base row of modelled cost).
+    assert (
+        straggler["learned_stealing_seconds"]
+        <= straggler["blind_stealing_seconds"] + 5 * ROW_COST_SECONDS
+    ), report

@@ -13,7 +13,12 @@ rawfile pipeline, plus the :class:`WaveformSpec` declarations circuits
 use to describe how each metric is extracted from traces.
 """
 
-from repro.analysis.metrics import MethodSummary, aggregate_results, normalize_runtimes
+from repro.analysis.metrics import (
+    MethodSummary,
+    aggregate_results,
+    normalize_runtimes,
+    straggler_idle_fraction,
+)
 from repro.analysis.tables import format_comparison_table, format_ablation_table
 from repro.analysis.experiments import ExperimentRunner, ExperimentSettings
 from repro.analysis.waveform import (
@@ -34,6 +39,7 @@ __all__ = [
     "MethodSummary",
     "aggregate_results",
     "normalize_runtimes",
+    "straggler_idle_fraction",
     "format_comparison_table",
     "format_ablation_table",
     "ExperimentRunner",

@@ -94,6 +94,28 @@ def normalize_runtimes(
     return summaries
 
 
+def straggler_idle_fraction(
+    row_seconds: Sequence[float], workers: int, wall_seconds: float
+) -> float:
+    """Fraction of worker capacity spent idle during a sharded dispatch.
+
+    ``row_seconds`` is the per-row wall clock a sharded run recorded (the
+    ``SimResult.row_seconds`` array); ``wall_seconds`` the dispatch's
+    end-to-end duration.  Perfect load balance gives 0.0; one straggler
+    pinning the whole pool while the other ``workers - 1`` drain drives
+    this toward ``(workers - 1) / workers``.  Non-finite row entries
+    (failed rows) are ignored.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if wall_seconds <= 0:
+        return float("nan")
+    rows = np.asarray(row_seconds, dtype=float)
+    busy = float(np.sum(rows[np.isfinite(rows)]))
+    capacity = workers * wall_seconds
+    return float(max(0.0, 1.0 - busy / capacity))
+
+
 def sample_efficiency_gain(
     summaries: Sequence[MethodSummary], reference_method: str = "glova"
 ) -> Dict[str, float]:

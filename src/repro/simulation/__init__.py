@@ -16,7 +16,11 @@ corner block × mismatch block + phase tag) evaluated by a
 * sharding — ``workers > 1`` splits any job's batch axis (mismatch,
   corner *and* design rows) across a persistent warm
   :class:`~repro.simulation.sharding.WorkerPool` owned by the service,
-  with bit-identical results (:mod:`repro.simulation.sharding`);
+  with bit-identical results (:mod:`repro.simulation.sharding`).  The
+  default scheduler is *work-stealing*: cost-balanced chunks pulled from
+  the pool's shared queue, with per-row wall-clock learned by a
+  :class:`RowCostModel` (:mod:`repro.simulation.costs`) and persisted as
+  cache sidecars; ``scheduler="uniform"`` pins the legacy slicer;
 * :class:`FaultInjectingBackend` — the chaos harness: wraps any terminal
   backend with seeded, scriptable fault schedules (raise / hang /
   kill-own-worker / FAILURE_NAN) so the fault-tolerance paths are
@@ -59,6 +63,12 @@ legacy entry points all compile to jobs and route through
 """
 
 from repro.simulation.budget import SimulationBudget, SimulationPhase
+from repro.simulation.costs import (
+    ROW_SECONDS_KEY,
+    RowCostModel,
+    is_reserved_metric,
+    strip_reserved_metrics,
+)
 from repro.simulation.service import (
     BACKENDS,
     CACHE_FORMAT_VERSION,
@@ -81,7 +91,16 @@ from repro.simulation.service import (
     resolve_backend,
     spill_store_stats,
 )
-from repro.simulation.sharding import ShardHandle, ShardWatchdog, WorkerPool
+from repro.simulation.sharding import (
+    SCHEDULER_STEALING,
+    SCHEDULER_UNIFORM,
+    SCHEDULERS,
+    ShardHandle,
+    ShardWatchdog,
+    WorkerPool,
+    plan_chunk_bounds,
+    resolve_scheduler,
+)
 from repro.simulation.ngspice import (  # registers the "ngspice" backend
     NgspiceBackend,
     NgspiceError,
@@ -114,6 +133,15 @@ __all__ = [
     "ShardHandle",
     "ShardWatchdog",
     "WorkerPool",
+    "SCHEDULER_STEALING",
+    "SCHEDULER_UNIFORM",
+    "SCHEDULERS",
+    "ROW_SECONDS_KEY",
+    "RowCostModel",
+    "is_reserved_metric",
+    "strip_reserved_metrics",
+    "plan_chunk_bounds",
+    "resolve_scheduler",
     "CACHE_FORMAT_VERSION",
     "SimulationBackend",
     "SimulationService",

@@ -66,6 +66,7 @@ from repro.simulation.protocol import (
     recv_frame,
     send_frame,
 )
+from repro.simulation.costs import RowCostModel, strip_reserved_metrics
 from repro.simulation.service import (
     BACKENDS,
     ShardedDispatcher,
@@ -73,7 +74,12 @@ from repro.simulation.service import (
     SimulationBackend,
     resolve_backend,
 )
-from repro.simulation.sharding import WorkerPool
+from repro.simulation.sharding import (
+    SCHEDULER_STEALING,
+    SCHEDULERS,
+    WorkerPool,
+    resolve_scheduler,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -113,6 +119,12 @@ class SimulationServer:
     workers:
         ``> 1`` stands up a warm :class:`WorkerPool` and shards big
         batches across it, exactly like the in-process service would.
+    scheduler:
+        Shard scheduler for the daemon-side pool: the work-stealing
+        default (cost-balanced chunks, per-row costs learned in-memory
+        across the daemon's lifetime — a fleet daemon serving repeated
+        sweeps plans ever-better chunks) or ``"uniform"`` to pin the
+        legacy slicer.  ``None`` honours ``REPRO_SHARD_SCHEDULER``.
     lease_seconds / retention_seconds / heartbeat_interval:
         The liveness model described in the module docstring.
     """
@@ -126,6 +138,7 @@ class SimulationServer:
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
         retention_seconds: float = DEFAULT_RETENTION_SECONDS,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        scheduler: Optional[str] = None,
     ):
         self._terminal = resolve_backend(backend)
         self.workers = max(1, int(workers))
@@ -134,15 +147,23 @@ class SimulationServer:
         self.lease_seconds = float(lease_seconds)
         self.retention_seconds = float(retention_seconds)
         self.heartbeat_interval = float(heartbeat_interval)
+        self.scheduler = resolve_scheduler(scheduler)
 
         self._pool: Optional[WorkerPool] = None
         self._engine: SimulationBackend = self._terminal
+        self.cost_model: Optional[RowCostModel] = (
+            RowCostModel() if self.scheduler == SCHEDULER_STEALING else None
+        )
         if self.workers > 1 and self._terminal.worker_reconstructible:
             self._pool = WorkerPool(
                 self.workers, backend_names=(self._terminal.name,)
             )
             self._engine = ShardedDispatcher(
-                self._terminal, self.workers, pool=self._pool
+                self._terminal,
+                self.workers,
+                pool=self._pool,
+                scheduler=self.scheduler,
+                cost_model=self.cost_model,
             )
 
         self._listener: Optional[socket.socket] = None
@@ -432,7 +453,12 @@ class SimulationServer:
         execution = self._inflight[job_hash]
         try:
             circuit = self._circuit(job.circuit_name)
-            execution.metrics = self._engine.evaluate(circuit, job)
+            # Reserved bookkeeping keys (per-row timing) stay server-side:
+            # the dispatcher's cost model has already consumed them, and
+            # the wire protocol promises exactly the circuit's metric set.
+            execution.metrics = strip_reserved_metrics(
+                self._engine.evaluate(circuit, job)
+            )
             self._count("executions")
         except BaseException as error:  # noqa: BLE001 - reported to client
             execution.error = error
@@ -570,6 +596,17 @@ def serve_main(argv=None) -> int:
         help="worker processes for sharding big batches (default: 1)",
     )
     parser.add_argument(
+        "--scheduler",
+        default=None,
+        choices=sorted(SCHEDULERS),
+        help=(
+            "shard scheduler for the daemon pool: 'stealing' "
+            "(cost-balanced work-stealing chunks, the default) or "
+            "'uniform' (legacy one-slice-per-worker); unset honours "
+            "REPRO_SHARD_SCHEDULER"
+        ),
+    )
+    parser.add_argument(
         "--lease-seconds", type=float, default=DEFAULT_LEASE_SECONDS
     )
     parser.add_argument(
@@ -590,6 +627,7 @@ def serve_main(argv=None) -> int:
         host=arguments.host,
         port=arguments.port,
         workers=arguments.workers,
+        scheduler=arguments.scheduler,
         lease_seconds=arguments.lease_seconds,
         retention_seconds=arguments.retention_seconds,
         heartbeat_interval=arguments.heartbeat_interval,

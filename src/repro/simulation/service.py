@@ -102,6 +102,7 @@ import os
 import tempfile
 import threading
 import time
+import warnings
 import zipfile
 from collections import deque
 from concurrent.futures import CancelledError
@@ -116,11 +117,19 @@ import numpy as np
 
 from repro.circuits.base import AnalogCircuit
 from repro.simulation.budget import SimulationBudget, SimulationPhase
+from repro.simulation.costs import (
+    ROW_SECONDS_KEY,
+    RowCostModel,
+    is_reserved_metric,
+    strip_reserved_metrics,
+)
 from repro.simulation.sharding import (
+    SCHEDULER_STEALING,
     ShardHandle,
     ShardWatchdog,
     WorkerPool,
     dispatch_job_sharded,
+    resolve_scheduler,
 )
 from repro.variation.corners import CornerBatch, PVTCorner
 
@@ -140,10 +149,16 @@ def failed_row_mask(metrics: Dict[str, np.ndarray]) -> np.ndarray:
     carries the tag.  Plain NaN — a measure the engine *reported* as
     failed, or an analytic backend's unconverged row — is a genuine result
     and is never mistaken for infrastructure failure, so legitimately
-    all-NaN results stay charged and cacheable."""
+    all-NaN results stay charged and cacheable.  Reserved bookkeeping
+    keys (``__``-prefixed, e.g. the per-row timing block) are not
+    metrics and never participate in failure detection."""
     from repro.spice.deck import failure_nan_mask
 
-    blocks = [np.asarray(block) for block in metrics.values()]
+    blocks = [
+        np.asarray(block)
+        for name, block in metrics.items()
+        if not is_reserved_metric(name)
+    ]
     if not blocks:
         return np.zeros(0, dtype=bool)
     return np.logical_and.reduce([failure_nan_mask(block) for block in blocks])
@@ -353,6 +368,11 @@ class SimResult:
     metrics: Dict[str, np.ndarray]
     cached: bool = False
     backend: str = ""
+    #: Measured wall-clock seconds per row (``(B,)``), or ``None`` when
+    #: the evaluation was not timed (cache hits, remote replies).  NaN
+    #: rows never ran (watchdog-degraded shards).  This is what the
+    #: work-stealing scheduler's cost model learns from.
+    row_seconds: Optional[np.ndarray] = None
 
     def matrix(self, names: Sequence[str]) -> np.ndarray:
         """``(B, len(names))`` metric matrix in the requested column order."""
@@ -366,6 +386,7 @@ class SimResult:
         matrix = self.matrix(names)
         corners = self.job.row_corners
         mismatch = self.job.mismatch
+        seconds = self.row_seconds
         return [
             SimulationRecord(
                 metrics=dict(zip(names, row.tolist())),
@@ -373,6 +394,11 @@ class SimResult:
                 mismatch=None if mismatch is None else mismatch[index],
                 vector=row,
                 vector_names=names,
+                seconds=(
+                    None
+                    if seconds is None or not np.isfinite(seconds[index])
+                    else float(seconds[index])
+                ),
             )
             for index, row in enumerate(matrix)
         ]
@@ -394,6 +420,10 @@ class SimulationRecord:
     vector_names: Optional[Tuple[str, ...]] = field(
         default=None, repr=False, compare=False
     )
+    #: Measured wall-clock seconds for this row, when the evaluation was
+    #: timed (``None`` for cache hits and untimed paths).  Excluded from
+    #: equality: two runs of the same row are the same result.
+    seconds: Optional[float] = field(default=None, repr=False, compare=False)
 
     def metric_vector(self, names: Sequence[str]) -> np.ndarray:
         if self.vector is not None and tuple(names) == self.vector_names:
@@ -869,9 +899,13 @@ class CachingBackend(SimulationBackend):
         # transient per-row flake (subprocess timeout, row omitted from the
         # measure log) into a permanent wrong answer for this job; rows
         # with reported-failed measures (plain NaN) are still results and
-        # stay cacheable.
+        # stay cacheable.  Reserved bookkeeping keys (per-row timing) are
+        # never stored: a replayed hit costs nothing, so the original
+        # run's wall clock would be a lie (the cost model keeps its own
+        # sidecars for that).
         if failed_row_mask(metrics).any():
             return
+        metrics = strip_reserved_metrics(metrics)
         self._cache[job.job_id] = {
             name: values.copy() for name, values in metrics.items()
         }
@@ -1053,6 +1087,8 @@ class ShardedDispatcher(SimulationBackend):
         workers: int,
         pool: Optional[WorkerPool] = None,
         watchdog: Optional[ShardWatchdog] = None,
+        scheduler: Optional[str] = None,
+        cost_model: Optional[RowCostModel] = None,
     ):
         self.inner = inner
         self.workers = max(1, int(workers))
@@ -1060,6 +1096,13 @@ class ShardedDispatcher(SimulationBackend):
         self._owns_pool = pool is None
         self._released = False
         self.watchdog = watchdog
+        #: Shard scheduler: work-stealing by default, ``"uniform"`` pins
+        #: the legacy one-slice-per-worker plan (see
+        #: :func:`~repro.simulation.sharding.resolve_scheduler`).
+        self.scheduler = resolve_scheduler(scheduler)
+        #: Learned per-row cost estimates feeding (and fed by) the
+        #: work-stealing planner; ``None`` runs cost-agnostic.
+        self.cost_model = cost_model
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -1085,7 +1128,13 @@ class ShardedDispatcher(SimulationBackend):
         """Submit the job's shards without blocking (``None`` = not
         shardable; the caller evaluates in-process instead)."""
         return dispatch_job_sharded(
-            circuit, self.inner, job, self.pool, watchdog=self.watchdog
+            circuit,
+            self.inner,
+            job,
+            self.pool,
+            watchdog=self.watchdog,
+            scheduler=self.scheduler,
+            cost_model=self.cost_model,
         )
 
     def evaluate(
@@ -1129,6 +1178,17 @@ class SimFuture:
     running ones finish but their results are dropped, a lazy thunk is
     never invoked — and nothing is ever charged or cached.  This is the
     discard path for speculative double-buffered submission.
+
+    Concurrency contract: the blocking resolve runs *outside* the lock
+    (only the flag checks and the memoization hold it), so a concurrent
+    :meth:`cancel` — a watchdog thread, an aborting ``iter_resolved``
+    consumer — returns immediately instead of blocking behind the work
+    it is trying to abandon.  The resolving thread observes the cancel
+    at its accounting checkpoints (before the evaluation starts, and
+    again before the outcome is committed) and aborts with a net-zero
+    budget charge; once the commit checkpoint has passed, :meth:`cancel`
+    refuses (returns ``False``) — the job's accounting is in flight and
+    can no longer be un-issued.
     """
 
     def __init__(
@@ -1145,7 +1205,10 @@ class SimFuture:
         self._cached_metrics = cached_metrics
         self._handle = handle
         self._lock = threading.Lock()
+        self._done_condition = threading.Condition(self._lock)
         self._resolved = False
+        self._resolving = False
+        self._committing = False
         self._cancelled = False
         self._result: Optional[SimResult] = None
         self._error: Optional[BaseException] = None
@@ -1156,29 +1219,52 @@ class SimFuture:
         """Whether the job was satisfied by the cache at submission."""
         return self._cached_metrics is not None
 
+    @property
+    def blocking(self) -> bool:
+        """Whether resolution runs the evaluation in the caller's thread.
+
+        True for the lazy in-process thunk: no background work exists to
+        overlap with, so :meth:`result` *is* the evaluation.  Schedulers
+        polling :meth:`done` should treat a blocking future as work to
+        resolve, not work to wait for.
+        """
+        return self._handle is None and self._cached_metrics is None
+
     def cancelled(self) -> bool:
         return self._cancelled
 
     def done(self) -> bool:
-        """Whether :meth:`result` would return without blocking."""
-        if self._resolved or self._cancelled:
-            return True
-        if self._cached_metrics is not None:
-            return True
-        if self._handle is not None:
-            return self._handle.done()
-        # Lazy thunk: evaluation happens inside result(), so it is always
-        # "ready" in the sense that nothing external is pending.
-        return True
+        """Whether :meth:`result` would return without blocking.
+
+        A cache hit is done the moment it is submitted; a pool-backed
+        future is done when its shards are; a lazy in-process thunk is
+        **not** done until someone resolves it — its evaluation happens
+        inside :meth:`result`, and reporting it "ready" would let a
+        pipelining caller skip the overlap it was polling for (see
+        :attr:`blocking`).
+        """
+        with self._lock:
+            if self._resolved or self._cancelled:
+                return True
+            if self._resolving:
+                return False  # another thread is mid-resolve
+            if self._cached_metrics is not None:
+                return True
+            if self._handle is not None:
+                return self._handle.done()
+            return False  # lazy thunk: nothing ran yet
 
     def cancel(self) -> bool:
         """Abandon the future (no charge, no cache store, work dropped).
 
-        Returns ``False`` when the future was already resolved — a
-        resolved job has been accounted and cannot be un-issued.
+        Non-blocking even while another thread is resolving: the flag
+        flips under the lock and the resolver aborts at its next
+        checkpoint.  Returns ``False`` when the future was already
+        resolved — or is past its commit checkpoint — because an
+        accounted job cannot be un-issued.
         """
         with self._lock:
-            if self._resolved:
+            if self._resolved or self._committing:
                 return False
             if not self._cancelled:
                 self._cancelled = True
@@ -1186,29 +1272,81 @@ class SimFuture:
                     self._handle.cancel()
             return True
 
+    def _guarded(
+        self, attempt: Callable[[], Dict[str, np.ndarray]]
+    ) -> Callable[[], Dict[str, np.ndarray]]:
+        """Wrap one evaluation attempt with cancellation checkpoints.
+
+        Checked before the (blocking) attempt starts and again before
+        its outcome is handed back for accounting: a cancel landing in
+        between raises ``CancelledError`` out of the attempt, which the
+        accounting loop refunds like any other failed attempt (net-zero
+        charge) and never retries.  Passing the second checkpoint flips
+        :attr:`_committing`, after which :meth:`cancel` refuses.
+        """
+
+        def checkpointed() -> Dict[str, np.ndarray]:
+            with self._lock:
+                if self._cancelled:
+                    raise CancelledError(
+                        f"SimFuture for job {self.job.job_id[:12]} was "
+                        f"cancelled before evaluation"
+                    )
+                self._committing = False
+            metrics = attempt()
+            with self._lock:
+                if self._cancelled:
+                    raise CancelledError(
+                        f"SimFuture for job {self.job.job_id[:12]} was "
+                        f"cancelled during evaluation; dropping its result"
+                    )
+                self._committing = True
+            return metrics
+
+        return checkpointed
+
     def result(self) -> SimResult:
         """Resolve the job: wait for the work and run the accounting.
 
         Single-shot and memoized: the first call charges (idempotently),
-        refunds on failure and stores to the cache; every later call
-        replays the same outcome with no further accounting.
+        refunds on failure and stores to the cache; every later call —
+        from any thread — replays the same outcome with no further
+        accounting.  Concurrent callers block on a condition until the
+        resolving thread publishes the outcome; the lock is *not* held
+        across the blocking resolve (see the class docstring).
         """
-        with self._lock:
+        with self._done_condition:
+            while self._resolving:
+                self._done_condition.wait()
+            if self._resolved:
+                if self._error is not None:
+                    raise self._error
+                return self._result
             if self._cancelled:
                 raise CancelledError(
                     f"SimFuture for job {self.job.job_id[:12]} was cancelled"
                 )
-            if not self._resolved:
-                try:
-                    self._result = self._service._resolve(self)
-                except BaseException as error:
-                    self._error = error
-                    raise
-                finally:
-                    self._resolved = True
-            if self._error is not None:
-                raise self._error
-            return self._result
+            self._resolving = True
+            if self._cached_metrics is not None:
+                # Cache-hit resolution is non-blocking bookkeeping; commit
+                # it atomically with the cancel check above so a racing
+                # cancel() can never return True for a charged hit.
+                self._committing = True
+        try:
+            result = self._service._resolve(self)
+        except BaseException as error:
+            with self._done_condition:
+                self._error = error
+                self._resolved = True
+                self._resolving = False
+                self._done_condition.notify_all()
+            raise
+        with self._done_condition:
+            self._result = result
+            self._resolved = True
+            self._resolving = False
+            self._done_condition.notify_all()
+        return result
 
 
 def iter_resolved(items: Sequence, submit: Callable, ahead: int = 1):
@@ -1235,10 +1373,25 @@ def iter_resolved(items: Sequence, submit: Callable, ahead: int = 1):
             item, future = pending.popleft()
             yield item, (None if future is None else future.result())
     finally:
+        # Cancel every still-pending future, each behind its own guard:
+        # one cancel() raising (a torn-down pool, a buggy handle) must
+        # not leave the futures behind it un-cancelled — leaked
+        # speculative work would keep a pool busy with results nobody
+        # will ever consume.
         while pending:
             _, future = pending.popleft()
-            if future is not None:
+            if future is None:
+                continue
+            try:
                 future.cancel()
+            except Exception as error:  # noqa: BLE001 - cleanup best-effort
+                warnings.warn(
+                    f"failed to cancel a pending SimFuture during "
+                    f"iter_resolved cleanup ({error!r}); continuing with "
+                    f"the remaining futures",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
 
 # ----------------------------------------------------------------------
@@ -1281,12 +1434,28 @@ class SimulationService:
         cache_dir: Optional[str] = None,
         warm_pool: bool = True,
         retry: Union[None, RetryPolicy, Dict[str, object]] = None,
+        scheduler: Optional[str] = None,
     ):
         self._circuit = circuit
         self._budget = budget if budget is not None else SimulationBudget()
         self._workers = max(1, int(workers))
         self._terminal = resolve_backend(backend)
         self._retry = resolve_retry(retry)
+        self._scheduler = resolve_scheduler(scheduler)
+        # The cost model exists whenever the stealing scheduler is
+        # active — even single-process runs observe their row timings, so
+        # a later (or concurrent) sharded run plans informed chunks.  With
+        # a cache_dir the observations persist as sidecars in the same
+        # keyspace as the result spill.
+        self._cost_model: Optional[RowCostModel] = None
+        if self._scheduler == SCHEDULER_STEALING:
+            self._cost_model = RowCostModel(
+                sidecar_dir=(
+                    os.path.join(os.fspath(cache_dir), "costs")
+                    if cache_dir is not None
+                    else None
+                )
+            )
         self._dispatch: SimulationBackend = self._terminal
         self._pool: Optional[WorkerPool] = None
         if self._workers > 1:
@@ -1303,6 +1472,8 @@ class SimulationService:
                 watchdog=(
                     self._retry.watchdog() if self._retry is not None else None
                 ),
+                scheduler=self._scheduler,
+                cost_model=self._cost_model,
             )
         self._cache: Optional[CachingBackend] = (
             CachingBackend(self._dispatch, spill_dir=cache_dir)
@@ -1349,6 +1520,17 @@ class SimulationService:
     def retry(self) -> Optional[RetryPolicy]:
         """The active retry policy (``None`` = fail fast, legacy mode)."""
         return self._retry
+
+    @property
+    def scheduler(self) -> str:
+        """The shard scheduler name (``"stealing"`` or ``"uniform"``)."""
+        return self._scheduler
+
+    @property
+    def cost_model(self) -> Optional[RowCostModel]:
+        """Learned per-row cost estimates (``None`` under the legacy
+        uniform scheduler)."""
+        return self._cost_model
 
     @property
     def pool(self) -> Optional[WorkerPool]:
@@ -1399,10 +1581,36 @@ class SimulationService:
         counted = self._budget.charge(job.phase, count, job_id=job_id)
         return counted, job_id
 
+    def _time_stamped(
+        self, job: SimJob, metrics: Dict[str, np.ndarray], started: float
+    ) -> Dict[str, np.ndarray]:
+        """Ensure a successful block carries per-row timing.
+
+        Blocks assembled from pool shards already carry the workers'
+        measured :data:`~repro.simulation.costs.ROW_SECONDS_KEY` (and the
+        shard handle already fed the cost model); an in-process
+        evaluation is timed here instead — the whole evaluation's wall
+        clock split uniformly over the rows — and observed into the cost
+        model so single-process runs still teach the scheduler.
+        """
+        if ROW_SECONDS_KEY in metrics:
+            return metrics
+        rows = max(job.batch, 1)
+        metrics = dict(metrics)
+        metrics[ROW_SECONDS_KEY] = np.full(
+            rows, (time.perf_counter() - started) / rows
+        )
+        if self._cost_model is not None:
+            self._cost_model.observe(
+                job, metrics[ROW_SECONDS_KEY], self._terminal.name
+            )
+        return metrics
+
     def _evaluate_accounted(
         self,
         job: SimJob,
         first_attempt: Callable[[], Dict[str, np.ndarray]],
+        guard: Optional[Callable[[Callable], Callable]] = None,
     ) -> Dict[str, np.ndarray]:
         """Charge → evaluate → refund-on-failure, under the retry policy.
 
@@ -1419,12 +1627,20 @@ class SimulationService:
         after the policy's deterministic backoff, and because every failed
         attempt was refunded first, the eventual success charges exactly
         once: the budget trajectory is bit-identical to a fault-free run.
+
+        ``guard`` (future resolution passes
+        :meth:`SimFuture._guarded`) wraps every attempt — including
+        retries — with cancellation checkpoints; a cancel raising out of
+        an attempt refunds its charge like any failure, classifies as
+        :attr:`FailureKind.OTHER` and therefore propagates un-retried.
         """
         policy = self._retry
         attempt = 1
-        evaluate = first_attempt
+        wrap = guard if guard is not None else (lambda fn: fn)
+        evaluate = wrap(first_attempt)
         while True:
             counted, job_id = self._charge(job, job.cost)
+            started = time.perf_counter()
             try:
                 metrics = evaluate()
             except BaseException as error:
@@ -1436,7 +1652,7 @@ class SimulationService:
                     raise
             else:
                 if not failed_row_mask(metrics).any():
-                    return metrics
+                    return self._time_stamped(job, metrics, started)
                 # The block carries rows the engine never produced.
                 if policy is None or not policy.should_retry(
                     FailureKind.FAILURE_NAN, attempt
@@ -1457,8 +1673,8 @@ class SimulationService:
                     self._budget.refund(job.phase, job.cost, job_id=job_id)
             policy.sleep(job.job_id, attempt)
             attempt += 1
-            evaluate = lambda: self._dispatch.evaluate(  # noqa: E731
-                self._circuit, job
+            evaluate = wrap(
+                lambda: self._dispatch.evaluate(self._circuit, job)
             )
 
     def run(self, job: SimJob) -> SimResult:
@@ -1497,10 +1713,15 @@ class SimulationService:
         metrics = self._evaluate_accounted(
             job, lambda: self._dispatch.evaluate(self._circuit, job)
         )
+        row_seconds = metrics.pop(ROW_SECONDS_KEY, None)
         if self._cache is not None:
             self._cache.store(job, metrics)
         return SimResult(
-            job=job, metrics=metrics, cached=False, backend=self._dispatch.name
+            job=job,
+            metrics=metrics,
+            cached=False,
+            backend=self._dispatch.name,
+            row_seconds=row_seconds,
         )
 
     # ------------------------------------------------------------------
@@ -1565,9 +1786,16 @@ class SimulationService:
                 cached=True,
                 backend=self._cache.name if self._cache is not None else "",
             )
-        metrics = self._evaluate_accounted(job, future._outcome)
+        metrics = self._evaluate_accounted(
+            job, future._outcome, guard=future._guarded
+        )
+        row_seconds = metrics.pop(ROW_SECONDS_KEY, None)
         if self._cache is not None:
             self._cache.store(job, metrics)
         return SimResult(
-            job=job, metrics=metrics, cached=False, backend=self._dispatch.name
+            job=job,
+            metrics=metrics,
+            cached=False,
+            backend=self._dispatch.name,
+            row_seconds=row_seconds,
         )

@@ -26,6 +26,18 @@ Two things changed with the async service redesign:
   assembles the concatenated metrics block later (or cancels the handle to
   abandon speculative work).  :func:`run_job_sharded` remains the blocking
   convenience wrapper.
+* **Scheduling is work-stealing by default.**  Instead of one uniform
+  slice per worker, a job is cut into more, smaller chunks than workers
+  (:func:`plan_chunk_bounds`) and the executor's shared queue does the
+  stealing: whichever worker finishes its chunk pulls the next, so a
+  heavy-tailed row (an ngspice deck blowing its transient budget) idles
+  at most one worker for one chunk instead of stranding the pool behind
+  a fat uniform slice.  Chunk bounds are balanced by *learned* per-row
+  costs when available — every shard stamps its wall clock into the
+  result block and a :class:`~repro.simulation.costs.RowCostModel`
+  accumulates them (persistently, via cache-sidecar JSON) — and
+  known-expensive chunks are submitted first.  ``scheduler="uniform"``
+  (or ``REPRO_SHARD_SCHEDULER=uniform``) pins the legacy slicer.
 
 Fault tolerance (the simulation-fabric layer):
 
@@ -55,8 +67,10 @@ Design constraints (unchanged):
 
 * **Seeded-stream identical** — sampling happens *before* a job is built
   (evaluation consumes no randomness), and shard results are concatenated
-  in submission order, so a sharded run returns bit-identical metric
-  arrays to the single-process run.  Healing preserves this: a re-dispatch
+  in row order (however the batch was chunked, and in whatever order the
+  chunks were submitted or finished), so a sharded run returns
+  bit-identical metric arrays to the single-process run.  Healing
+  preserves this: a re-dispatch
   evaluates the *same* frozen shard job, and watchdog degradation only
   produces FAILURE_NAN rows that a retrying service re-simulates.
 * **No circuit or backend pickling** — circuit instances carry closures
@@ -73,6 +87,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import time
 import warnings
 import weakref
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
@@ -84,6 +99,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.circuits.base import AnalogCircuit
+from repro.simulation.costs import ROW_SECONDS_KEY, RowCostModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.simulation.service import SimJob, SimulationBackend
@@ -95,6 +111,49 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: floor of one row per worker instead: any multi-row job fans its rows out
 #: across the pool rather than running them serially in one process.
 MIN_ROWS_PER_WORKER = 2
+
+#: Work-stealing scheduler: cost-balanced contiguous chunks pulled from
+#: the executor's shared queue by whichever worker frees up first (the
+#: default).
+SCHEDULER_STEALING = "stealing"
+#: Legacy scheduler: one uniform slice per worker, all submitted up
+#: front.  Optimal only when every row costs the same.
+SCHEDULER_UNIFORM = "uniform"
+SCHEDULERS = (SCHEDULER_STEALING, SCHEDULER_UNIFORM)
+#: Environment override for the default scheduler (service/daemon
+#: constructor arguments win over it).
+SCHEDULER_ENV_VAR = "REPRO_SHARD_SCHEDULER"
+
+#: Work-stealing oversubscription: target chunk count per worker.  More
+#: chunks mean finer-grained stealing (a straggler chunk strands less
+#: sibling work behind it) at the price of more serialization round
+#: trips; 4 keeps the per-chunk overhead under a few percent for the
+#: in-process backends while bounding straggler idle time at ~1/4 of a
+#: uniform slice.
+STEAL_CHUNKS_PER_WORKER = 4
+
+#: Floor on mean rows per work-stealing chunk for in-process (vectorized)
+#: backends — caps the chunk *count* so tiny chunks never drown the
+#: vectorized solve in IPC.  ``row_parallel`` backends (one external
+#: subprocess per row) chunk down to single rows instead.
+MIN_STEAL_ROWS = 2
+
+
+def resolve_scheduler(scheduler: Optional[str] = None) -> str:
+    """The effective shard scheduler name.
+
+    ``None`` falls back to :data:`SCHEDULER_ENV_VAR`, then to the
+    work-stealing default; anything not in :data:`SCHEDULERS` raises.
+    """
+    if scheduler is None:
+        scheduler = os.environ.get(SCHEDULER_ENV_VAR) or SCHEDULER_STEALING
+    scheduler = str(scheduler).strip().lower()
+    if scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"unknown shard scheduler {scheduler!r}; "
+            f"available: {list(SCHEDULERS)}"
+        )
+    return scheduler
 
 #: Environment variables pinned to ``1`` inside every pool worker so a
 #: B-axis shard never spawns a BLAS thread team of its own — ``workers``
@@ -328,9 +387,22 @@ def _worker_backend(name: str) -> "SimulationBackend":
 def _evaluate_job_shard(
     backend_name: str, job: "SimJob"
 ) -> Dict[str, np.ndarray]:
-    """Worker-side: evaluate one shard job on process-cached objects."""
+    """Worker-side: evaluate one shard job on process-cached objects.
+
+    The returned block carries the evaluation's wall clock under the
+    reserved :data:`~repro.simulation.costs.ROW_SECONDS_KEY` — exact for
+    one-row shards, a uniform split of the shard's elapsed time
+    otherwise — which is what the work-stealing scheduler's cost model
+    learns from (see :mod:`repro.simulation.costs`).
+    """
     circuit = _worker_circuit(job.circuit_name)
-    return _worker_backend(backend_name).evaluate(circuit, job)
+    started = time.perf_counter()
+    metrics = dict(_worker_backend(backend_name).evaluate(circuit, job))
+    rows = max(job.batch, 1)
+    metrics[ROW_SECONDS_KEY] = np.full(
+        rows, (time.perf_counter() - started) / rows
+    )
+    return metrics
 
 
 def _noop() -> None:
@@ -567,12 +639,19 @@ class WorkerPool:
 
 
 def _failure_block(job: "SimJob", metric_names: Sequence[str]):
-    """An all-:data:`FAILURE_NAN` metrics block for one shard job."""
+    """An all-:data:`FAILURE_NAN` metrics block for one shard job.
+
+    Carries NaN row seconds (the rows never ran) so degraded shards
+    assemble uniformly with timed siblings; the cost model ignores
+    non-finite observations.
+    """
     from repro.spice.deck import FAILURE_NAN
 
-    return {
+    block = {
         name: np.full(job.batch, FAILURE_NAN) for name in metric_names
     }
+    block[ROW_SECONDS_KEY] = np.full(job.batch, np.nan)
+    return block
 
 
 class _Shard:
@@ -591,11 +670,19 @@ class ShardHandle:
 
     ``result()`` blocks until every shard finishes and concatenates the
     metric blocks in shard (= row) order — bit-identical to the in-process
-    evaluation.  ``cancel()`` abandons the handle: shards that have not
-    started are cancelled outright, already-running shards finish in the
-    pool but their results are dropped.  The service never charges budget
-    for a cancelled handle, which is what makes speculative double-buffered
-    submission safe.
+    evaluation regardless of how the batch was chunked or in what order
+    the chunks were submitted.  ``cancel()`` abandons the handle: shards
+    that have not started are cancelled outright, already-running shards
+    finish in the pool but their results are dropped, and a ``result()``
+    call racing the cancel raises ``CancelledError`` at the next shard
+    boundary instead of assembling dropped work.  The service never
+    charges budget for a cancelled handle, which is what makes
+    speculative double-buffered submission safe.
+
+    Timing: worker blocks carry per-row wall clock under the reserved
+    :data:`~repro.simulation.costs.ROW_SECONDS_KEY`; assembly stitches it
+    into :attr:`row_seconds` (row order) and feeds the scheduler's
+    :class:`~repro.simulation.costs.RowCostModel` when one was wired in.
 
     Fault handling inside ``result()``:
 
@@ -619,6 +706,8 @@ class ShardHandle:
         backend_name: str = "",
         metric_names: Sequence[str] = (),
         watchdog: Optional[ShardWatchdog] = None,
+        job: Optional["SimJob"] = None,
+        cost_model: Optional[RowCostModel] = None,
     ):
         generation = pool.generation if pool is not None else 0
         if jobs is None:
@@ -631,6 +720,13 @@ class ShardHandle:
         self._backend_name = backend_name
         self._metric_names = tuple(metric_names)
         self._watchdog = watchdog
+        self._job = job
+        self._cost_model = cost_model
+        self._cancelled = False
+        self._observed = False
+        #: Per-row wall-clock seconds in row order, populated by
+        #: ``result()`` when the shard blocks carried timing.
+        self.row_seconds: Optional[np.ndarray] = None
         #: Shard indices degraded to FAILURE_NAN by the watchdog (observable).
         self.timed_out_shards: List[int] = []
         #: Shard indices re-dispatched after a worker death (observable).
@@ -639,7 +735,14 @@ class ShardHandle:
     def done(self) -> bool:
         return all(shard.future.done() for shard in self._shards)
 
+    def cancelled(self) -> bool:
+        return self._cancelled
+
     def cancel(self) -> None:
+        # Flag first: a result() call racing this cancel must see the
+        # deliberate abandonment and raise, not mistake its shards'
+        # CancelledError for a pool heal and re-dispatch the work.
+        self._cancelled = True
         for shard in self._shards:
             shard.future.cancel()
 
@@ -686,9 +789,18 @@ class ShardHandle:
                 deadline = self._watchdog.deadline(shard.job.batch)
             attempts = 0
             while blocks[index] is None:
+                if self._cancelled:
+                    raise CancelledError(
+                        "ShardHandle was cancelled; dropping its shards"
+                    )
                 try:
                     blocks[index] = shard.future.result(deadline)
-                except (BrokenProcessPool, CancelledError):
+                except (BrokenProcessPool, CancelledError) as error:
+                    if self._cancelled and isinstance(error, CancelledError):
+                        # Deliberate abandonment (handle.cancel()), not a
+                        # lost worker: propagate instead of re-dispatching
+                        # work nobody will consume.
+                        raise
                     # A dead worker breaks every in-flight future; a heal
                     # (triggered by a sibling shard or a watchdog) cancels
                     # the old executor's queued ones.  Both mean the same
@@ -724,10 +836,26 @@ class ShardHandle:
                     if self._pool is not None:
                         self._pool.heal(reason="hung shard")
         results = [block for block in blocks if block is not None]
-        return {
+        # Reserved timing keys are only assembled when *every* block has
+        # one (legacy futures constructed without timing mix freely).
+        merged = {
             metric: np.concatenate([result[metric] for result in results])
             for metric in results[0]
+            if all(metric in result for result in results)
         }
+        row_seconds = merged.get(ROW_SECONDS_KEY)
+        if row_seconds is not None:
+            self.row_seconds = row_seconds
+            if (
+                not self._observed
+                and self._cost_model is not None
+                and self._job is not None
+            ):
+                self._observed = True
+                self._cost_model.observe(
+                    self._job, row_seconds, self._backend_name
+                )
+        return merged
 
 
 def _registered_circuit(circuit: AnalogCircuit) -> bool:
@@ -766,12 +894,90 @@ def shardable(
     )
 
 
+def plan_chunk_bounds(
+    batch: int,
+    workers: int,
+    costs: Optional[np.ndarray] = None,
+    row_parallel: bool = False,
+    chunks_per_worker: int = STEAL_CHUNKS_PER_WORKER,
+) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` chunk bounds balanced by predicted row cost.
+
+    The work-stealing planner: the batch is cut at equal *cumulative
+    cost* targets, so with uniform (or unknown) costs the chunks are
+    equal-sized and ``chunks_per_worker ×`` oversubscribed, while a
+    heavy row absorbs several targets in a row and ends up isolated in
+    a chunk of its own — the straggler never strands sibling rows
+    behind it.  Chunk *count* is capped by :data:`MIN_STEAL_ROWS` mean
+    rows per chunk for in-process backends (``row_parallel`` engines
+    chunk down to single rows) so IPC overhead stays bounded; the
+    cost-weighted cuts may still produce smaller individual chunks,
+    which is exactly the wanted behaviour for stragglers.
+
+    Row order is preserved (chunks tile ``[0, batch)`` in order), which
+    is what keeps concatenated results bit-identical to the uniform
+    slicer regardless of chunking.
+    """
+    batch = int(batch)
+    workers = max(1, int(workers))
+    if batch <= 0:
+        return []
+    min_rows = 1 if row_parallel else max(1, int(MIN_STEAL_ROWS))
+    chunks = min(
+        batch,
+        workers * max(1, int(chunks_per_worker)),
+        max(workers, batch // min_rows),
+    )
+    chunks = max(1, chunks)
+    weights = None
+    if costs is not None:
+        weights = np.asarray(costs, dtype=float).reshape(-1).copy()
+        if weights.shape[0] != batch:
+            weights = None
+        else:
+            usable = np.isfinite(weights) & (weights > 0)
+            if not usable.any():
+                weights = None
+            else:
+                weights[~usable] = float(weights[usable].mean())
+    if weights is None:
+        weights = np.ones(batch)
+    cumulative = np.cumsum(weights)
+    targets = cumulative[-1] * np.arange(1, chunks) / chunks
+    cuts = np.searchsorted(cumulative, targets, side="left") + 1
+    # Any single row filling a whole chunk's cost budget is cut out into
+    # a chunk of its own: equal-cumulative-cost cuts alone would leave
+    # the cheap rows *preceding* a straggler stranded in its chunk.
+    step = cumulative[-1] / chunks
+    heavy = np.flatnonzero(weights >= step)
+    bounds = np.unique(
+        np.concatenate(([0], cuts, heavy, heavy + 1, [batch]))
+    )
+    return [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(len(bounds) - 1)
+    ]
+
+
+def _uniform_bounds(batch: int, workers: int) -> List[Tuple[int, int]]:
+    """The legacy slicer: one uniform slice per worker."""
+    shards = min(workers, batch)
+    edges = np.linspace(0, batch, shards + 1).astype(int)
+    return [
+        (int(edges[i]), int(edges[i + 1]))
+        for i in range(shards)
+        if edges[i] != edges[i + 1]
+    ]
+
+
 def dispatch_job_sharded(
     circuit: AnalogCircuit,
     backend: "SimulationBackend",
     job: "SimJob",
     pool: Optional[WorkerPool],
     watchdog: Optional[ShardWatchdog] = None,
+    scheduler: Optional[str] = None,
+    cost_model: Optional[RowCostModel] = None,
 ) -> Optional[ShardHandle]:
     """Submit one job's row shards to ``pool`` without blocking.
 
@@ -779,54 +985,82 @@ def dispatch_job_sharded(
     applicable (no pool, closed or poisoned pool, small batch, unregistered
     circuit, non-terminal backend) so the caller evaluates in-process
     instead.
+
+    With the default :data:`SCHEDULER_STEALING` scheduler the batch is
+    cut into more chunks than workers (:func:`plan_chunk_bounds`,
+    balanced by the cost model's prediction when one is wired in) and
+    the executor's shared queue does the stealing: whichever worker
+    finishes pulls the next chunk, so a straggler row idles at most one
+    worker for one chunk.  Known-expensive chunks are submitted first
+    (longest-predicted-first) so a learned straggler starts immediately
+    instead of queueing behind cheap work.  :data:`SCHEDULER_UNIFORM`
+    pins the legacy one-slice-per-worker plan.  Either way shard results
+    assemble in row order — bit-identical metrics and, because the
+    service accounts at resolution time, bit-identical budget
+    trajectories.
     """
     if pool is None or pool.closed or pool.poisoned:
         return None
     batch = job.batch
     if not shardable(circuit, backend, pool.workers, batch):
         return None
-    shards = min(pool.workers, batch)
-    bounds = np.linspace(0, batch, shards + 1).astype(int)
-    shard_jobs = []
-    for shard in range(shards):
-        lo, hi = int(bounds[shard]), int(bounds[shard + 1])
-        if lo != hi:
-            shard_jobs.append(job.shard(lo, hi))
-    futures = []
-    jobs = []
-    for shard_job in shard_jobs:
-        try:
-            future = pool.submit(_evaluate_job_shard, backend.name, shard_job)
-        except BrokenProcessPool:
-            # A previous job's worker death is discovered here, at submit
-            # time: the executor broke after its last result was consumed,
-            # so no ShardHandle ever saw the breakage.  Heal once and
-            # restart the dispatch on the fresh executor; if the pool
-            # refuses (cap spent), fall back in-process.
-            if not pool.heal_broken(pool.generation, reason="broken at submit"):
-                return None
-            for stale in futures:
+    scheduler = resolve_scheduler(scheduler)
+    predicted: Optional[np.ndarray] = None
+    if scheduler == SCHEDULER_UNIFORM:
+        bounds = _uniform_bounds(batch, pool.workers)
+    else:
+        if cost_model is not None:
+            predicted = cost_model.predict(job, backend.name)
+        bounds = plan_chunk_bounds(
+            batch,
+            pool.workers,
+            costs=predicted,
+            row_parallel=bool(getattr(backend, "row_parallel", False)),
+        )
+    shard_jobs = [job.shard(lo, hi) for lo, hi in bounds]
+    # Submission order: longest-predicted-first when costs are known (a
+    # learned straggler starts on the first free worker), else row
+    # order.  Assembly is by shard *index*, so submission order never
+    # affects the result.
+    order = list(range(len(shard_jobs)))
+    if predicted is not None and len(shard_jobs) > 1:
+        chunk_cost = [float(predicted[lo:hi].sum()) for lo, hi in bounds]
+        order.sort(key=lambda i: (-chunk_cost[i], i))
+
+    def _submit_all(slots: List[Optional[Future]]) -> None:
+        for i in order:
+            slots[i] = pool.submit(
+                _evaluate_job_shard, backend.name, shard_jobs[i]
+            )
+
+    futures: List[Optional[Future]] = [None] * len(shard_jobs)
+    try:
+        _submit_all(futures)
+    except BrokenProcessPool:
+        # A previous job's worker death is discovered here, at submit
+        # time: the executor broke after its last result was consumed,
+        # so no ShardHandle ever saw the breakage.  Heal once and
+        # restart the dispatch on the fresh executor; if the pool
+        # refuses (cap spent), fall back in-process.
+        if not pool.heal_broken(pool.generation, reason="broken at submit"):
+            return None
+        for stale in futures:
+            if stale is not None:
                 stale.cancel()
-            futures = []
-            jobs = []
-            try:
-                futures = [
-                    pool.submit(_evaluate_job_shard, backend.name, sub_job)
-                    for sub_job in shard_jobs
-                ]
-            except (BrokenProcessPool, RuntimeError):
-                return None  # freshly healed pool broke again: give up
-            jobs = list(shard_jobs)
-            break
-        futures.append(future)
-        jobs.append(shard_job)
+        futures = [None] * len(shard_jobs)
+        try:
+            _submit_all(futures)
+        except (BrokenProcessPool, RuntimeError):
+            return None  # freshly healed pool broke again: give up
     return ShardHandle(
         futures,
-        jobs=jobs,
+        jobs=shard_jobs,
         pool=pool,
         backend_name=backend.name,
         metric_names=circuit.metric_names,
         watchdog=watchdog,
+        job=job,
+        cost_model=cost_model,
     )
 
 
@@ -836,9 +1070,19 @@ def run_job_sharded(
     job: "SimJob",
     pool: Optional[WorkerPool],
     watchdog: Optional[ShardWatchdog] = None,
+    scheduler: Optional[str] = None,
+    cost_model: Optional[RowCostModel] = None,
 ) -> Optional[Dict[str, np.ndarray]]:
     """Blocking convenience wrapper around :func:`dispatch_job_sharded`."""
-    handle = dispatch_job_sharded(circuit, backend, job, pool, watchdog)
+    handle = dispatch_job_sharded(
+        circuit,
+        backend,
+        job,
+        pool,
+        watchdog,
+        scheduler=scheduler,
+        cost_model=cost_model,
+    )
     if handle is None:
         return None
     return handle.result()

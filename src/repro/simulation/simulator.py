@@ -84,6 +84,11 @@ class RecordsFuture:
     def done(self) -> bool:
         return self._future.done()
 
+    @property
+    def blocking(self) -> bool:
+        """True when ``result()`` would run the simulation in this thread."""
+        return self._future.blocking
+
     def cancel(self) -> bool:
         return self._future.cancel()
 
@@ -112,6 +117,7 @@ class CircuitSimulator:
         cache_dir: Optional[str] = None,
         service: Optional[SimulationService] = None,
         retry=None,
+        scheduler: Optional[str] = None,
     ):
         if service is None:
             service = SimulationService(
@@ -122,6 +128,7 @@ class CircuitSimulator:
                 cache=cache,
                 cache_dir=cache_dir,
                 retry=retry,
+                scheduler=scheduler,
             )
         self._service = service
 
