@@ -1,0 +1,130 @@
+"""Perf benchmark: journal resume in the experiment front end.
+
+Measures what the write-ahead journal + per-seed checkpoint layering of
+``repro serve --mode experiment`` actually buys on a daemon crash, and
+records it to ``benchmarks/results/BENCH_experiment_frontend.json``:
+
+* **cold_seconds** — a three-seed sizing run submitted over the wire to
+  a fresh front end (journal empty, no checkpoints): every seed
+  simulates.
+* **resume_seconds** — the same run resumed by a successor front end
+  after a simulated daemon kill: the journal record is rewound to
+  ``queued`` (exactly what a SIGKILL leaves behind) and the last seed's
+  checkpoint deleted (it died mid-seed), so the replayed execution
+  restores two seeds from checkpoints and re-simulates only one.
+
+Bit-identical reports are asserted before anything is recorded — the
+speedup is only meaningful if resume reproduces the uninterrupted run
+exactly.  Numbers are wall-clock on loopback; they track trends across
+PRs rather than absolute performance.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+
+import pytest
+
+from harness import write_bench_json
+from repro import api
+from repro.simulation.frontend import (
+    ExperimentClient,
+    ExperimentFrontend,
+    ExperimentJournal,
+    run_key,
+)
+
+pytestmark = pytest.mark.perf
+
+_CONFIG = dict(
+    circuit="sal",
+    method="C",
+    seeds=(0, 1, 2),
+    max_iterations=3,
+    initial_samples=6,
+    optimization_samples=2,
+    verification_samples=4,
+)
+
+
+def _comparable(report):
+    payload = report.to_dict()
+    payload.pop("config", None)
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def test_experiment_frontend_resume_vs_cold(tmp_path):
+    config = api.ExperimentConfig(**_CONFIG)
+    journal_dir = str(tmp_path / "journal")
+
+    # Cold: fresh journal, every seed simulates.
+    frontend = ExperimentFrontend(journal_dir).start()
+    try:
+        client = ExperimentClient(frontend.endpoint, poll_interval=0.02)
+        start = time.perf_counter()
+        cold_report = client.run(config)
+        cold_seconds = time.perf_counter() - start
+    finally:
+        frontend.stop()
+
+    # Simulate a SIGKILLed daemon: the journal still carries the run as
+    # in-flight, and the last seed died before its checkpoint landed.
+    journal = ExperimentJournal(journal_dir)
+    record_path = journal.path_for(run_key(config, "default"))
+    with open(record_path) as handle:
+        record = json.load(handle)
+    record.update(state="queued", report=None, replayed_seeds=[])
+    with open(record_path, "w") as handle:
+        json.dump(record, handle)
+    last_seed = max(_CONFIG["seeds"])
+    victims = glob.glob(
+        os.path.join(journal.checkpoints_dir, "*", f"seed-{last_seed}.json")
+    )
+    assert victims, "expected per-seed checkpoints under the journal"
+    for victim in victims:
+        os.remove(victim)
+
+    # Resume: the successor replays the journal, restores two seeds from
+    # checkpoints and re-simulates only the one that never completed.
+    successor = ExperimentFrontend(journal_dir)
+    assert successor.stats["replayed_runs"] == 1
+    successor.start()
+    try:
+        client = ExperimentClient(successor.endpoint, poll_interval=0.02)
+        start = time.perf_counter()
+        resumed_report = client.run(config)
+        resume_seconds = time.perf_counter() - start
+    finally:
+        successor.stop()
+
+    # Equivalence before timing is recorded: resume must be exact.
+    assert _comparable(resumed_report) == _comparable(cold_report)
+
+    seeds_total = len(_CONFIG["seeds"])
+    write_bench_json(
+        "experiment_frontend",
+        {
+            "description": (
+                "Journaled experiment front end: cold 3-seed sizing run "
+                "submitted over the wire vs resuming the same run after "
+                "a simulated daemon kill (journal replayed, 2 of 3 seeds "
+                "restored from per-seed checkpoints, 1 re-simulated). "
+                "Reports asserted bit-identical before timing."
+            ),
+            "cold_seconds": cold_seconds,
+            "resume_seconds": resume_seconds,
+            "speedup": cold_seconds / resume_seconds,
+            "seeds_total": seeds_total,
+            "seeds_replayed": seeds_total - 1,
+            "seeds_resimulated": 1,
+            "total_simulations": cold_report.total_simulations,
+            "resimulation_fraction_saved": (seeds_total - 1) / seeds_total,
+        },
+    )
+    print(
+        f"\ncold {cold_seconds:.3f}s, resume {resume_seconds:.3f}s, "
+        f"speedup {cold_seconds / resume_seconds:.2f}x"
+    )

@@ -532,7 +532,13 @@ def _run_seed(config: ExperimentConfig, seed: int) -> OptimizationResult:
                 os.environ[ENDPOINTS_ENV] = restore_endpoints
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentReport:
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    endpoint: Optional[str] = None,
+    tenant: str = "default",
+    client_options: Optional[Dict[str, Any]] = None,
+) -> ExperimentReport:
     """Run ``config.algorithm`` for every seed and aggregate a report.
 
     With ``checkpoint_dir`` set, every completed seed is snapshotted the
@@ -543,7 +549,25 @@ def run_experiment(config: ExperimentConfig) -> ExperimentReport:
     Seeds are the RNG-safe resume boundary (each owns its seeded streams),
     and the content-hash simulation cache (``cache_dir``) covers in-flight
     work *within* an interrupted seed.
+
+    With ``endpoint`` set (``"host:port"`` of a ``repro serve --mode
+    experiment`` daemon) the run is **submitted instead of executed**: the
+    daemon journals it, drives it through its own warm worker pools, and
+    this call blocks until the report comes back.  The daemon's journal
+    then owns crash recovery — a daemon killed mid-run and restarted
+    resumes the run and still answers this call, bit-identical to the
+    local path.  ``tenant`` names the server-side admission budget the
+    run is accounted against; ``client_options`` passes through to
+    :class:`~repro.simulation.frontend.ExperimentClient` (poll interval,
+    busy/backoff tuning, reconnect budget).
     """
+    if endpoint is not None:
+        from repro.simulation.frontend import ExperimentClient
+
+        client = ExperimentClient(
+            endpoint, tenant=tenant, **(client_options or {})
+        )
+        return client.run(config)
     runs: List[RunReport] = []
     results: List[OptimizationResult] = []
     for seed in config.seeds:

@@ -30,7 +30,13 @@ corner block × mismatch block + phase tag) evaluated by a
   protocol, with per-endpoint circuit breakers, retries with seeded
   backoff, server-side leases/result retention, and graceful degradation
   to a local backend when the fleet is down (:mod:`repro.simulation.remote`
-  / :mod:`repro.simulation.server` / :mod:`repro.simulation.protocol`).
+  / :mod:`repro.simulation.server` / :mod:`repro.simulation.protocol`);
+* the experiment front end — ``repro serve --mode experiment`` daemons
+  (:class:`ExperimentFrontend`) own *whole sizing runs* instead of raw
+  jobs: write-ahead journaled for crash-safe resume, admission-controlled
+  per tenant (:class:`~repro.simulation.budget.TenantBudgetLedger`),
+  load-shedding via BUSY frames when the run queue fills, and draining
+  gracefully on SIGTERM (:mod:`repro.simulation.frontend`).
 
 Fault tolerance: a :class:`RetryPolicy` on the service re-simulates
 classified-transient failures (worker death, timeouts, engine errors,
@@ -122,6 +128,19 @@ from repro.simulation.remote import (  # registers the "remote" backend
 from repro.simulation.server import SimulationServer
 from repro.simulation.simulator import CircuitSimulator
 
+# The experiment front end (``repro serve --mode experiment``) sits above
+# everything else in this package — imported last, and it only touches
+# :mod:`repro.api` lazily, so no import cycle forms.
+from repro.simulation.budget import TenantBudgetLedger
+from repro.simulation.frontend import (
+    ExperimentClient,
+    ExperimentFrontend,
+    ExperimentJournal,
+    FrontendBusy,
+    FrontendUnavailable,
+    run_key,
+)
+
 __all__ = [
     "SimulationBudget",
     "SimulationPhase",
@@ -172,4 +191,11 @@ __all__ = [
     "BACKENDS",
     "available_backends",
     "resolve_backend",
+    "TenantBudgetLedger",
+    "ExperimentClient",
+    "ExperimentFrontend",
+    "ExperimentJournal",
+    "FrontendBusy",
+    "FrontendUnavailable",
+    "run_key",
 ]

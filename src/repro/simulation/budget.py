@@ -11,8 +11,9 @@ resources" during verification).
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 
 class SimulationPhase(enum.Enum):
@@ -58,6 +59,7 @@ class SimulationBudget:
         phase: SimulationPhase,
         count: int = 1,
         job_id: Optional[str] = None,
+        enforce_cap: bool = True,
     ) -> bool:
         """Account for ``count`` simulations issued by ``phase``.
 
@@ -74,13 +76,23 @@ class SimulationBudget:
         and a cancelled future never touches the budget at all.  The
         budget therefore needs no locking — it is only ever mutated from
         the control-loop thread.
+
+        ``enforce_cap=False`` records the charge even past the cap — the
+        post-hoc accounting path for work that *already happened* (a
+        tenant ledger charging a completed run): refusing the charge
+        cannot un-simulate anything, it can only make the books lie.  The
+        cap then bites at the next admission decision instead.
         """
         if count < 0:
             raise ValueError("count must be non-negative")
         if job_id is not None and job_id in self.charged_jobs:
             return False
         self.counts[phase] = self.counts.get(phase, 0) + count
-        if self.max_simulations is not None and self.total > self.max_simulations:
+        if (
+            enforce_cap
+            and self.max_simulations is not None
+            and self.total > self.max_simulations
+        ):
             # An over-cap charge aborts the job before it runs, so it must
             # leave no trace: the count is rolled back and the idempotency
             # key is not consumed — a retry charges (and aborts) again
@@ -161,3 +173,90 @@ class SimulationBudget:
 
 def _ceil_div(numerator: int, denominator: int) -> int:
     return -(-numerator // denominator)
+
+
+class TenantBudgetLedger:
+    """Per-tenant :class:`SimulationBudget` map for server-side admission.
+
+    The rate-limiting primitive of the multi-tenant experiment front end
+    (:mod:`repro.simulation.frontend`): every tenant id lazily gets its
+    own :class:`SimulationBudget` with ``max_simulations=quota``, and the
+    front end consults :meth:`admits` before accepting a run.  Charges
+    land *after* a run completes — the daemon knows the real simulation
+    counts then, split by phase exactly like the paper's accounting —
+    with ``enforce_cap=False`` (completed work must be booked even when
+    it overshoots; the overshoot blocks the *next* admission instead).
+
+    Charges are idempotent per ``(tenant, run_id)`` so journal replay
+    after a daemon crash can recharge every completed run without double
+    counting.  All methods are thread-safe: connection handler threads
+    admit while run-executor threads charge.
+    """
+
+    #: ``RunReport.simulations`` keys mapped onto budget phases.
+    _PHASE_KEYS = (
+        ("initial_sampling", SimulationPhase.INITIAL_SAMPLING),
+        ("optimization", SimulationPhase.OPTIMIZATION),
+        ("verification", SimulationPhase.VERIFICATION),
+    )
+
+    def __init__(self, quota: Optional[int] = None):
+        self.quota = None if quota is None else int(quota)
+        self._lock = threading.Lock()
+        self._budgets: Dict[str, SimulationBudget] = {}
+        self._charged: Set[Tuple[str, str]] = set()
+
+    def budget_for(self, tenant: str) -> SimulationBudget:
+        """The tenant's budget, created on first sight."""
+        tenant = str(tenant)
+        with self._lock:
+            budget = self._budgets.get(tenant)
+            if budget is None:
+                budget = SimulationBudget(max_simulations=self.quota)
+                self._budgets[tenant] = budget
+            return budget
+
+    def admits(self, tenant: str) -> bool:
+        """Whether the tenant has quota left for another run."""
+        budget = self.budget_for(tenant)
+        with self._lock:
+            if budget.max_simulations is None:
+                return True
+            return budget.total < budget.max_simulations
+
+    def remaining(self, tenant: str) -> Optional[int]:
+        """Simulations left before the tenant's cap (``None`` = unlimited)."""
+        budget = self.budget_for(tenant)
+        with self._lock:
+            if budget.max_simulations is None:
+                return None
+            return max(0, budget.max_simulations - budget.total)
+
+    def charge_run(
+        self, tenant: str, run_id: str, simulations: Dict[str, int]
+    ) -> bool:
+        """Book one completed run's phase-split counts against the tenant.
+
+        Idempotent per ``(tenant, run_id)``: the first charge counts,
+        replays are no-ops.  Returns True when the charge was counted.
+        """
+        tenant = str(tenant)
+        budget = self.budget_for(tenant)
+        with self._lock:
+            key = (tenant, str(run_id))
+            if key in self._charged:
+                return False
+            self._charged.add(key)
+            for field_name, phase in self._PHASE_KEYS:
+                count = int(simulations.get(field_name, 0) or 0)
+                if count:
+                    budget.charge(phase, count, enforce_cap=False)
+            return True
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant phase counts (operators and tests read this)."""
+        with self._lock:
+            return {
+                tenant: budget.snapshot()
+                for tenant, budget in sorted(self._budgets.items())
+            }

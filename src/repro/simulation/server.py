@@ -127,6 +127,12 @@ class SimulationServer:
         legacy slicer.  ``None`` honours ``REPRO_SHARD_SCHEDULER``.
     lease_seconds / retention_seconds / heartbeat_interval:
         The liveness model described in the module docstring.
+    retention_max_entries:
+        Hard count bound on the retention store (LRU by deposit time).
+        Time-based expiry alone lets a burst of expired-lease results
+        grow memory without limit inside one retention window; with a
+        bound, the oldest deposits are evicted first (counted in
+        ``stats["retention_evictions"]``).  ``None`` = unbounded.
     """
 
     def __init__(
@@ -139,6 +145,7 @@ class SimulationServer:
         retention_seconds: float = DEFAULT_RETENTION_SECONDS,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         scheduler: Optional[str] = None,
+        retention_max_entries: Optional[int] = None,
     ):
         self._terminal = resolve_backend(backend)
         self.workers = max(1, int(workers))
@@ -147,6 +154,11 @@ class SimulationServer:
         self.lease_seconds = float(lease_seconds)
         self.retention_seconds = float(retention_seconds)
         self.heartbeat_interval = float(heartbeat_interval)
+        self.retention_max_entries = (
+            None if retention_max_entries is None else int(retention_max_entries)
+        )
+        if self.retention_max_entries is not None and self.retention_max_entries < 1:
+            raise ValueError("retention_max_entries must be at least 1")
         self.scheduler = resolve_scheduler(scheduler)
 
         self._pool: Optional[WorkerPool] = None
@@ -170,6 +182,8 @@ class SimulationServer:
         self._accept_thread: Optional[threading.Thread] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._stopping = threading.Event()
+        self._draining = threading.Event()
+        self._drain_requested = threading.Event()
         #: Live accepted sockets. stop() must close these too: a handler
         #: thread blocked in recv keeps an ESTABLISHED socket on our port,
         #: which blocks a successor daemon's bind (SO_REUSEADDR only
@@ -192,6 +206,7 @@ class SimulationServer:
             "lease_expiries": 0,
             "protocol_errors": 0,
             "requests": 0,
+            "retention_evictions": 0,
         }
 
     # ------------------------------------------------------------------
@@ -234,9 +249,8 @@ class SimulationServer:
         )
         return self
 
-    def stop(self) -> None:
-        """Idempotent shutdown of listener, executor and pool."""
-        self._stopping.set()
+    def _close_listener(self) -> None:
+        """Stop accepting: close the listening socket, join its thread."""
         listener, self._listener = self._listener, None
         if listener is not None:
             # shutdown() before close(): a close alone does not wake a
@@ -254,6 +268,11 @@ class SimulationServer:
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
             self._accept_thread = None
+
+    def stop(self) -> None:
+        """Idempotent shutdown of listener, executor and pool."""
+        self._stopping.set()
+        self._close_listener()
         with self._lock:
             connections = list(self._connections)
             self._connections.clear()
@@ -271,6 +290,43 @@ class SimulationServer:
             self._pool.shutdown()
             self._pool = None
 
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop accepting, finish leased work, stop.
+
+        New connections are refused the moment the listener closes;
+        connections already mid-request run their execution to completion
+        and get their RESULT frame (or their deposit into retention)
+        before the sockets are torn down.  Nothing a client was promised
+        is dropped — the historical behaviour (the accept loop simply
+        dying on SIGTERM, abandoning in-flight executions) lost leased
+        work on every deploy.
+        """
+        self._draining.set()
+        self._close_listener()
+        deadline = time.monotonic() + float(timeout)
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._inflight:
+                    break
+            time.sleep(0.05)
+        # Short grace for handler threads to flush final frames to
+        # clients whose execution just finished.
+        grace = min(deadline, time.monotonic() + 5.0)
+        while time.monotonic() < grace:
+            with self._lock:
+                if not self._connections:
+                    break
+            time.sleep(0.05)
+        self.stop()
+
+    def request_drain(self) -> None:
+        """Signal-handler-safe drain trigger (consumed by serve_forever).
+
+        Handlers must not block; the actual drain — joins, sleeps, socket
+        teardown — runs on the main loop's thread.
+        """
+        self._drain_requested.set()
+
     def __enter__(self) -> "SimulationServer":
         return self.start()
 
@@ -278,10 +334,13 @@ class SimulationServer:
         self.stop()
 
     def serve_forever(self) -> None:
-        """Block until interrupted (the CLI entry point's main loop)."""
+        """Block until stopped or a requested drain completes."""
         self.start()
         try:
             while not self._stopping.is_set():
+                if self._drain_requested.is_set():
+                    self.drain()
+                    break
                 time.sleep(0.2)
         except KeyboardInterrupt:  # pragma: no cover - interactive
             pass
@@ -315,7 +374,9 @@ class SimulationServer:
         """Serve one client connection until it closes or misbehaves."""
         try:
             sock.settimeout(max(self.lease_seconds * 2.0, 5.0))
-            while not self._stopping.is_set():
+            # A draining daemon finishes the request it is inside but
+            # accepts no further ones on this connection.
+            while not self._stopping.is_set() and not self._draining.is_set():
                 try:
                     kind, request_id, payload = recv_frame(sock)
                 except ConnectionClosed:
@@ -471,6 +532,16 @@ class SimulationServer:
                         execution.metrics,
                         time.monotonic() + self.retention_seconds,
                     )
+                    # LRU count bound: deposits past the cap evict the
+                    # oldest entries — a long-lived daemon's memory stays
+                    # bounded even when a burst of expired-lease results
+                    # lands inside one retention window.
+                    while (
+                        self.retention_max_entries is not None
+                        and len(self._retained) > self.retention_max_entries
+                    ):
+                        self._retained.popitem(last=False)
+                        self.stats["retention_evictions"] += 1
             execution.done.set()
 
     def _circuit(self, name: str) -> AnalogCircuit:
@@ -570,10 +641,22 @@ def serve_main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro serve",
         description=(
-            "Run a simulation worker daemon: clients with "
-            "--backend remote --endpoints HOST:PORT ship SimJobs here. "
+            "Run a simulation daemon. --mode job (default): clients with "
+            "--backend remote --endpoints HOST:PORT ship raw SimJobs "
+            "here. --mode experiment: clients submit whole "
+            "ExperimentConfigs (run_experiment(endpoint=...)) and the "
+            "daemon drives them against a durable journal. "
             "Trusted-perimeter only — bind to loopback or a private "
             "network."
+        ),
+    )
+    parser.add_argument(
+        "--mode",
+        default="job",
+        choices=("job", "experiment"),
+        help=(
+            "job = raw SimJob executor (PR-7 fabric); experiment = "
+            "journaled experiment front end (requires --journal-dir)"
         ),
     )
     parser.add_argument(
@@ -617,11 +700,82 @@ def serve_main(argv=None) -> int:
         type=float,
         default=DEFAULT_HEARTBEAT_INTERVAL,
     )
+    parser.add_argument(
+        "--retention-max-entries",
+        type=int,
+        default=None,
+        help=(
+            "LRU count bound on the job-mode result-retention store "
+            "(default: unbounded; expiry is then purely time-based)"
+        ),
+    )
+    # Experiment-mode flags (ignored under --mode job).
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help=(
+            "durable root for the experiment journal + checkpoints; "
+            "required for --mode experiment (restart on the same "
+            "directory to resume interrupted runs)"
+        ),
+    )
+    parser.add_argument(
+        "--run-workers",
+        type=int,
+        default=1,
+        help="experiment runs executed concurrently (default: 1)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help=(
+            "bound on accepted-but-unstarted experiment runs; "
+            "submissions past it are shed with BUSY (default: 8)"
+        ),
+    )
+    parser.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=None,
+        help=(
+            "per-tenant simulation cap gating experiment admission "
+            "(default: unlimited)"
+        ),
+    )
     arguments = parser.parse_args(argv)
 
     logging.basicConfig(
         level=logging.INFO, format="%(asctime)s %(levelname)s %(message)s"
     )
+    if arguments.mode == "experiment":
+        if arguments.journal_dir is None:
+            parser.error("--mode experiment requires --journal-dir")
+        from repro.simulation.frontend import (
+            DEFAULT_MAX_QUEUE,
+            ExperimentFrontend,
+        )
+
+        frontend = ExperimentFrontend(
+            journal_dir=arguments.journal_dir,
+            host=arguments.host,
+            port=arguments.port,
+            run_workers=arguments.run_workers,
+            max_queue=(
+                DEFAULT_MAX_QUEUE
+                if arguments.max_queue is None
+                else arguments.max_queue
+            ),
+            tenant_quota=arguments.tenant_quota,
+        )
+        _install_drain_handlers(frontend)
+        frontend.start()
+        # Same stdout contract as job mode: scripts discover an
+        # ephemeral port from this line (tests run --port 0).
+        print(f"repro serve listening on {frontend.endpoint}", flush=True)
+        frontend.serve_forever()
+        return 0
+
     server = SimulationServer(
         backend=arguments.backend,
         host=arguments.host,
@@ -631,13 +785,38 @@ def serve_main(argv=None) -> int:
         lease_seconds=arguments.lease_seconds,
         retention_seconds=arguments.retention_seconds,
         heartbeat_interval=arguments.heartbeat_interval,
+        retention_max_entries=arguments.retention_max_entries,
     )
+    _install_drain_handlers(server)
     server.start()
     # The bound endpoint on stdout is the contract scripts rely on to
     # discover an ephemeral port (tests run --port 0).
     print(f"repro serve listening on {server.endpoint}", flush=True)
     server.serve_forever()
     return 0
+
+
+def _install_drain_handlers(daemon) -> None:
+    """SIGTERM/SIGINT → graceful drain, exit 0.
+
+    The handler only sets an event (request_drain is async-signal-safe by
+    construction); serve_forever notices it, drains, and returns —
+    in-flight work completes, nothing accepted is lost, the process exits
+    cleanly.  Installation is best-effort: signals only work on the main
+    thread, and embedding callers (tests driving serve_main directly from
+    a worker thread) still get drain via request_drain().
+    """
+    import signal
+
+    def _handle(signum, _frame):  # pragma: no cover - exercised in subprocess
+        logger.info("received signal %d; draining", signum)
+        daemon.request_drain()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _handle)
+        except ValueError:  # not the main thread
+            return
 
 
 __all__ = [

@@ -32,6 +32,13 @@ call:
   call everything routes through, and ``service.submit(job)`` is its
   futures-based twin (see below).
 
+Above the job layer sits the experiment front end
+(:mod:`repro.simulation.frontend`): a ``repro serve --mode experiment``
+daemon that owns *whole sizing runs* — journaled for crash recovery and
+admission-controlled per tenant via
+:class:`~repro.simulation.budget.TenantBudgetLedger` — while every
+simulation it triggers still flows through this service layer.
+
 Budget accounting is charged at the service, not in the backends, so cache
 hits and retried shards can never inflate the paper's "# Simulation"
 column (see :meth:`repro.simulation.budget.SimulationBudget.charge`), and a
